@@ -1,0 +1,181 @@
+(* gsino_run — command-line driver for the GSINO reproduction.
+
+   Subcommands:
+     run    — one circuit, one rate, all three flows
+     suite  — the paper's full evaluation (Tables 1-3)
+     table  — dump the LSK -> noise lookup table
+     bounds — show the crosstalk budget statistics for a circuit *)
+open Cmdliner
+open Gsino
+module Generator = Eda_netlist.Generator
+
+let circuit_arg =
+  let doc = "Benchmark circuit (ibm01..ibm06)." in
+  Arg.(value & opt string "ibm01" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc =
+    "Instance scale in (0,1]: net count scales linearly, region count \
+     proportionally; chip dimensions and physical net lengths stay at the \
+     published values."
+  in
+  Arg.(value & opt float 0.05 & info [ "s"; "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for placement, sensitivity and heuristics." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Sensitivity rate (fraction of net pairs sensitive to each other)." in
+  Arg.(value & opt float 0.30 & info [ "r"; "rate" ] ~docv:"R" ~doc)
+
+let router_arg =
+  let doc = "Global router: 'id' (the paper's iterative deletion) or 'nc' \
+             (negotiated congestion)." in
+  Arg.(value & opt (enum [ ("id", Flow.Iterative_deletion); ("nc", Flow.Negotiated) ])
+         Flow.Iterative_deletion
+     & info [ "router" ] ~docv:"ENGINE" ~doc)
+
+let budgeting_arg =
+  let doc = "Crosstalk budgeting: 'uniform' (the paper's Manhattan split) or \
+             'route-aware'." in
+  Arg.(value & opt (enum [ ("uniform", Flow.Uniform); ("route-aware", Flow.Route_aware) ])
+         Flow.Uniform
+     & info [ "budgeting" ] ~docv:"MODE" ~doc)
+
+let netlist_file_arg =
+  let doc = "Load the netlist from FILE (gsino-netlist v1) instead of \
+             generating one." in
+  Arg.(value & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc)
+
+let profile_of_name name =
+  match Generator.find_ibm name with
+  | Some p -> p
+  | None ->
+      Format.eprintf "unknown circuit %s (expected ibm01..ibm06)@." name;
+      exit 2
+
+let netlist_of tech circuit scale seed = function
+  | Some file -> Eda_netlist.Io.load file
+  | None ->
+      Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
+        (profile_of_name circuit)
+
+let run_cmd =
+  let run circuit scale seed rate router budgeting netlist_file =
+    let tech = Tech.default in
+    let netlist = netlist_of tech circuit scale seed netlist_file in
+    Format.printf "%a@." Eda_netlist.Netlist.pp_summary netlist;
+    let grid, base = Flow.prepare ~router tech netlist in
+    Format.printf "%a@.@." Eda_grid.Grid.pp grid;
+    let sensitivity = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
+    let flows =
+      [
+        Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid ~base netlist Flow.Id_no;
+        Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid ~base netlist Flow.Isino;
+        Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid netlist Flow.Gsino;
+      ]
+    in
+    List.iter (fun r -> Format.printf "%a@." Flow.pp_summary r) flows;
+    List.iter
+      (fun r ->
+        match r.Flow.refine_stats with
+        | Some s ->
+            Format.printf "%s %a@." (Flow.kind_name r.Flow.kind) Refine.pp_stats s
+        | None -> ())
+      flows
+  in
+  let doc = "Run ID+NO, iSINO and GSINO on one circuit at one sensitivity rate." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ router_arg
+          $ budgeting_arg $ netlist_file_arg)
+
+let map_cmd =
+  let run circuit scale seed rate netlist_file =
+    let tech = Tech.default in
+    let netlist = netlist_of tech circuit scale seed netlist_file in
+    let grid, base = Flow.prepare tech netlist in
+    let sensitivity = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
+    let idno = Flow.run tech ~sensitivity ~seed ~grid ~base netlist Flow.Id_no in
+    let gsino = Flow.run tech ~sensitivity ~seed ~grid netlist Flow.Gsino in
+    Format.printf "%a@.@." Eda_netlist.Netlist.pp_summary netlist;
+    Format.printf "conventional routing (nets only):@.%a@." Congestion_map.render
+      idno.Flow.usage;
+    Format.printf "GSINO (nets + shields):@.%a@." Congestion_map.render
+      gsino.Flow.usage
+  in
+  let doc = "Print ASCII congestion maps before and after GSINO." in
+  Cmd.v (Cmd.info "map" ~doc)
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ netlist_file_arg)
+
+let gen_cmd =
+  let run circuit scale seed out =
+    let tech = Tech.default in
+    let netlist =
+      Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
+        (profile_of_name circuit)
+    in
+    Eda_netlist.Io.save out netlist;
+    Format.printf "wrote %a to %s@." Eda_netlist.Netlist.pp_summary netlist out
+  in
+  let out_arg =
+    let doc = "Output file." in
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Generate a synthetic benchmark netlist and save it." in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ out_arg)
+
+let suite_cmd =
+  let run scale seed circuits =
+    let profiles =
+      match circuits with
+      | [] -> Generator.all_ibm
+      | names -> List.map profile_of_name names
+    in
+    let suite = Report.run_suite ~profiles ~scale ~seed () in
+    Format.printf "%a@.%a@.%a@.%a@.%a@." Report.table1 suite Report.table2 suite
+      Report.table3 suite Report.violations_summary suite Report.timing_summary
+      suite
+  in
+  let circuits_arg =
+    let doc = "Circuits to include (default: all six)." in
+    Arg.(value & pos_all string [] & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let doc = "Reproduce the paper's Tables 1-3 (both sensitivity rates)." in
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(const run $ scale_arg $ seed_arg $ circuits_arg)
+
+let table_cmd =
+  let run () =
+    let model = Tech.lsk_model Tech.default in
+    Format.printf "%a@.# LSK(um*K)\tnoise(V)@.%a@." Eda_lsk.Lsk.pp model
+      Eda_util.Lintable.pp model.Eda_lsk.Lsk.table
+  in
+  let doc = "Build (via circuit simulation) and dump the LSK lookup table." in
+  Cmd.v (Cmd.info "table" ~doc) Term.(const run $ const ())
+
+let bounds_cmd =
+  let run circuit scale seed =
+    let tech = Tech.default in
+    let profile = profile_of_name circuit in
+    let netlist =
+      Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed profile
+    in
+    let budget =
+      Budget.uniform ~lsk:(Tech.lsk_model tech) ~noise_v:tech.Tech.noise_bound_v
+        ~gcell_um:netlist.Eda_netlist.Netlist.gcell_um netlist
+    in
+    Format.printf "%a@.%a@." Eda_netlist.Netlist.pp_summary netlist Budget.pp budget
+  in
+  let doc = "Show the Phase-I crosstalk budget statistics for a circuit." in
+  Cmd.v (Cmd.info "bounds" ~doc)
+    Term.(const run $ circuit_arg $ scale_arg $ seed_arg)
+
+let () =
+  let doc = "Global routing with RLC crosstalk constraints (Ma & He, DAC 2002)" in
+  let info = Cmd.info "gsino_run" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; suite_cmd; table_cmd; bounds_cmd; map_cmd; gen_cmd ]))

@@ -1,0 +1,1 @@
+examples/budget_sweep.ml: Eda_lsk Eda_netlist Flow Format Gsino List Tech

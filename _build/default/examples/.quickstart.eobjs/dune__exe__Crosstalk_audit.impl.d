@@ -1,0 +1,1 @@
+examples/crosstalk_audit.ml: Array Budget Eda_grid Eda_netlist Flow Format Gsino List Noise Phase2 String Tech

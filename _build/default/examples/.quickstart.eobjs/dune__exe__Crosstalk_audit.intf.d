@@ -1,0 +1,1 @@
+examples/crosstalk_audit.mli:

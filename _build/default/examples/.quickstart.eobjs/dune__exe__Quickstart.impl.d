@@ -1,0 +1,1 @@
+examples/quickstart.ml: Eda_grid Eda_netlist Flow Format Gsino Tech

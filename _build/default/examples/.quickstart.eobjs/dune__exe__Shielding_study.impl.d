@@ -1,0 +1,1 @@
+examples/shielding_study.ml: Array Eda_lsk Eda_sino Eda_util Format Lazy List

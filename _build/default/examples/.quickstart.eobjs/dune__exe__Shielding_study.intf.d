@@ -1,0 +1,1 @@
+examples/shielding_study.mli:

@@ -1,0 +1,43 @@
+(* Budget sweep: how does the noise constraint level trade off against
+   shielding area?  Sweeps the per-sink bound from 0.10V to 0.20V (the
+   range the paper's LSK table covers) and runs the GSINO flow at each —
+   the "alternative crosstalk budgeting" exploration §5 proposes.
+
+   Run with:  dune exec examples/budget_sweep.exe *)
+open Gsino
+
+let () =
+  let base_tech = Tech.default in
+  let netlist =
+    Eda_netlist.Generator.generate ~gcell_um:base_tech.Tech.gcell_um ~scale:0.025
+      ~seed:13 Eda_netlist.Generator.ibm02
+  in
+  Format.printf "circuit: %a@.@." Eda_netlist.Netlist.pp_summary netlist;
+  let sensitivity = Eda_netlist.Sensitivity.make ~seed:4 ~rate:0.30 in
+  let grid, routes = Flow.prepare base_tech netlist in
+  let lsk_model = Tech.lsk_model base_tech in
+
+  (* baseline for overhead computation *)
+  let idno =
+    Flow.run base_tech ~sensitivity ~seed:1 ~grid ~base:routes netlist Flow.Id_no
+  in
+  let _, _, base_area = idno.Flow.area in
+
+  Format.printf "bound    LSK-budget  violations(ID+NO)  GSINO-shields  area-overhead@.";
+  List.iter
+    (fun bound_v ->
+      let tech = { base_tech with Tech.noise_bound_v = bound_v } in
+      let budget_lsk = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
+      let idno_b = Flow.run tech ~sensitivity ~seed:1 ~grid ~base:routes netlist Flow.Id_no in
+      let gsino = Flow.run tech ~sensitivity ~seed:1 ~grid netlist Flow.Gsino in
+      let _, _, a = gsino.Flow.area in
+      Format.printf "%.2fV   %7.0f      %5d (%5.2f%%)      %6d       %+6.2f%%  (residual %d)@."
+        bound_v budget_lsk
+        (Flow.violation_count idno_b) (Flow.violation_pct idno_b)
+        gsino.Flow.shields
+        (100. *. (a -. base_area) /. base_area)
+        (Flow.violation_count gsino))
+    [ 0.10; 0.125; 0.15; 0.175; 0.20 ];
+  Format.printf
+    "@.A tighter bound squeezes more nets under the LSK budget: more ID+NO@.\
+     violations, more shields, more area.  The paper's operating point is 0.15V.@."

@@ -1,0 +1,1 @@
+lib/circuit/coupled_line.ml: Array Float List Mna Option Seq Transient Waveform

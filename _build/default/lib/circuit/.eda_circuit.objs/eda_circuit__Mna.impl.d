@@ -1,0 +1,1 @@
+lib/circuit/mna.ml: Array Eda_util Float List Waveform

@@ -1,0 +1,1 @@
+lib/circuit/transient.ml: Array Eda_util Float List Mna Waveform

@@ -1,0 +1,149 @@
+type wire_role = Victim | Aggressor | Opposing | Quiet | Shield
+
+type spec = {
+  length_m : float;
+  segments : int;
+  r_per_m : float;
+  l_per_m : float;
+  c_per_m : float;
+  cc_per_m : float;
+  k_adjacent : float;
+}
+
+type drive = {
+  rd : float;
+  cl : float;
+  vdd : float;
+  t_delay : float;
+  t_rise : float;
+}
+
+let via_resistance = 0.5 (* shield-to-P/G connection *)
+
+let build spec drive roles =
+  let n = Array.length roles in
+  if n = 0 then invalid_arg "Coupled_line.build: no wires";
+  if spec.segments < 1 then invalid_arg "Coupled_line.build: segments >= 1";
+  if spec.k_adjacent < 0.0 || spec.k_adjacent >= 1.0 then
+    invalid_arg "Coupled_line.build: k_adjacent in [0,1)";
+  let m = spec.segments in
+  let c = Mna.create () in
+  let seg_len = spec.length_m /. float_of_int m in
+  let r_seg = spec.r_per_m *. seg_len in
+  let l_seg = spec.l_per_m *. seg_len in
+  let c_seg = spec.c_per_m *. seg_len in
+  let cc_seg = spec.cc_per_m *. seg_len in
+  (* junction nodes: nodes.(w).(s), s = 0..m *)
+  let nodes = Array.init n (fun _ -> Array.init (m + 1) (fun _ -> Mna.node c)) in
+  (* inductor index per (wire, segment) for mutual coupling *)
+  let inds = Array.make_matrix n m (-1) in
+  Array.iteri
+    (fun w wire_nodes ->
+      for s = 0 to m - 1 do
+        let mid = Mna.node c in
+        Mna.resistor c wire_nodes.(s) mid r_seg;
+        inds.(w).(s) <- Mna.inductor c mid wire_nodes.(s + 1) l_seg
+      done)
+    nodes;
+  (* ground capacitance: pi model, half at each segment end *)
+  let node_cap = Array.make_matrix n (m + 1) 0.0 in
+  for w = 0 to n - 1 do
+    for s = 0 to m - 1 do
+      node_cap.(w).(s) <- node_cap.(w).(s) +. (c_seg /. 2.0);
+      node_cap.(w).(s + 1) <- node_cap.(w).(s + 1) +. (c_seg /. 2.0)
+    done
+  done;
+  for w = 0 to n - 1 do
+    for s = 0 to m do
+      if node_cap.(w).(s) > 0.0 then
+        Mna.capacitor c nodes.(w).(s) Mna.ground node_cap.(w).(s)
+    done
+  done;
+  (* nearest-neighbour coupling capacitance, same pi weighting *)
+  for w = 0 to n - 2 do
+    for s = 0 to m do
+      let weight = if s = 0 || s = m then 0.5 else 1.0 in
+      Mna.capacitor c nodes.(w).(s) nodes.(w + 1).(s) (cc_seg *. weight)
+    done
+  done;
+  (* inductive coupling: k(d) = k_adjacent^d between same-index segments *)
+  if spec.k_adjacent > 0.0 then
+    for w = 0 to n - 1 do
+      for w' = w + 1 to n - 1 do
+        let k = spec.k_adjacent ** float_of_int (w' - w) in
+        if k > 1e-4 then
+          for s = 0 to m - 1 do
+            Mna.mutual c inds.(w).(s) inds.(w').(s) k
+          done
+      done
+    done;
+  (* terminations *)
+  Array.iteri
+    (fun w role ->
+      let near = nodes.(w).(0) and far = nodes.(w).(m) in
+      match role with
+      | Aggressor | Opposing ->
+          let v1 = match role with Opposing -> -.drive.vdd | _ -> drive.vdd in
+          let d = Mna.node c in
+          ignore
+            (Mna.vsource c d Mna.ground
+               (Waveform.Ramp
+                  { v0 = 0.0; v1; t_delay = drive.t_delay; t_rise = drive.t_rise }));
+          Mna.resistor c d near drive.rd;
+          Mna.capacitor c far Mna.ground drive.cl
+      | Victim | Quiet ->
+          Mna.resistor c near Mna.ground drive.rd;
+          Mna.capacitor c far Mna.ground drive.cl
+      | Shield ->
+          Mna.resistor c near Mna.ground via_resistance;
+          Mna.resistor c far Mna.ground via_resistance)
+    roles;
+  (c, Array.init n (fun w -> nodes.(w).(m)))
+
+let victim_noise ?dt ?t_end spec drive roles =
+  let dt = Option.value dt ~default:(drive.t_rise /. 10.0) in
+  let t_end = Option.value t_end ~default:(drive.t_delay +. (20.0 *. drive.t_rise)) in
+  let c, far = build spec drive roles in
+  let victims =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun (i, r) -> if r = Victim then Some i else None)
+            (Array.to_seq (Array.mapi (fun i r -> (i, r)) roles))))
+  in
+  if victims = [] then invalid_arg "Coupled_line.victim_noise: no victim wire";
+  let probes = List.map (fun i -> far.(i)) victims in
+  let res = Transient.run c ~dt ~t_end ~probes in
+  List.mapi (fun p i -> (i, Transient.peak_abs res p)) victims
+
+let worst_victim_noise ?dt ?t_end spec drive roles =
+  List.fold_left
+    (fun acc (_, v) -> Float.max acc v)
+    0.0
+    (victim_noise ?dt ?t_end spec drive roles)
+
+let differential_noise ?dt ?t_end spec drive roles ~plus ~minus =
+  let n = Array.length roles in
+  let is_victim i = i >= 0 && i < n && roles.(i) = Victim in
+  if (not (is_victim plus)) || not (is_victim minus) || plus = minus then
+    invalid_arg "Coupled_line.differential_noise: plus/minus must be distinct victims";
+  let dt = Option.value dt ~default:(drive.t_rise /. 10.0) in
+  let t_end = Option.value t_end ~default:(drive.t_delay +. (20.0 *. drive.t_rise)) in
+  let c, far = build spec drive roles in
+  let res = Transient.run c ~dt ~t_end ~probes:[ far.(plus); far.(minus) ] in
+  let worst = ref 0.0 in
+  for k = 0 to Transient.num_steps res do
+    worst := Float.max !worst (Float.abs (res.Transient.data.(0).(k) -. res.Transient.data.(1).(k)))
+  done;
+  !worst
+
+let rise_delay ?dt ?t_end spec drive roles ~wire =
+  if wire < 0 || wire >= Array.length roles || roles.(wire) <> Aggressor then
+    invalid_arg "Coupled_line.rise_delay: wire must be a rising Aggressor";
+  let dt = Option.value dt ~default:(drive.t_rise /. 10.0) in
+  let t_end = Option.value t_end ~default:(drive.t_delay +. (40.0 *. drive.t_rise)) in
+  let c, far = build spec drive roles in
+  let res = Transient.run c ~dt ~t_end ~probes:[ far.(wire) ] in
+  Option.map
+    (fun t -> t -. drive.t_delay)
+    (Transient.crossing_time res 0 ~level:(0.5 *. drive.vdd))

@@ -1,0 +1,89 @@
+(** Coupled RLC transmission-line bus — the structure whose SPICE
+    simulation calibrates the LSK table (paper §2.2).
+
+    [n] parallel wires on adjacent tracks are discretized into RLC ladder
+    segments.  Inductive coupling between tracks at distance [d] uses the
+    AR(1) profile k(d) = k_adjacent^d, which keeps the inductance matrix
+    positive definite for any bus width.  Capacitive coupling is
+    nearest-neighbour.  A shield is a wire grounded at both ends through a
+    small via resistance; its induced current provides the close return
+    path that suppresses long-range inductive coupling — no ad-hoc damping
+    factor is applied. *)
+
+type wire_role =
+  | Victim  (** quiet, driven low; we probe its far end *)
+  | Aggressor  (** switches 0 → Vdd *)
+  | Opposing
+      (** switches Vdd → 0 simultaneously — the worst case for a rising
+          neighbour's delay.  Modelled as a 0 → −Vdd ramp: in a linear
+          network whose DC transfer from one wire's driver to another
+          wire's nodes is zero, this produces exactly the falling edge's
+          effect on every other wire while keeping the simulator's
+          at-rest initial condition valid. *)
+  | Quiet  (** quiet non-victim signal wire *)
+  | Shield  (** grounded at both ends *)
+
+type spec = {
+  length_m : float;  (** line length *)
+  segments : int;  (** ladder segments per wire (≥ 1) *)
+  r_per_m : float;
+  l_per_m : float;
+  c_per_m : float;  (** ground capacitance *)
+  cc_per_m : float;  (** adjacent-track coupling capacitance *)
+  k_adjacent : float;  (** inductive coupling coefficient at distance 1 *)
+}
+
+type drive = {
+  rd : float;  (** driver resistance *)
+  cl : float;  (** receiver load capacitance *)
+  vdd : float;
+  t_delay : float;  (** aggressor switching instant *)
+  t_rise : float;
+}
+
+(** [build spec drive roles] constructs the circuit; returns it along with
+    the far-end node of every wire (ground for shields' probe is their own
+    far node, which stays near 0V). *)
+val build : spec -> drive -> wire_role array -> Mna.t * Mna.node array
+
+(** [victim_noise spec drive roles] runs a transient (default
+    [dt = t_rise/10], [t_end = t_delay + 20·t_rise]) and returns
+    [(wire_index, peak |V|)] for every [Victim].  *)
+val victim_noise :
+  ?dt:float -> ?t_end:float -> spec -> drive -> wire_role array -> (int * float) list
+
+(** [worst_victim_noise] is the max over victims; raises
+    [Invalid_argument] when no wire is a victim. *)
+val worst_victim_noise :
+  ?dt:float -> ?t_end:float -> spec -> drive -> wire_role array -> float
+
+(** [differential_noise spec drive roles ~plus ~minus] — peak |v(plus) −
+    v(minus)| at the far ends of a quiet differential pair (both must be
+    [Victim] wires).  What a differential receiver sees: common-mode
+    coupling cancels, so this quantifies the alternative crosstalk
+    counter-measure the paper's introduction cites (differential
+    signaling [6]) against shielding at equal track cost. *)
+val differential_noise :
+  ?dt:float ->
+  ?t_end:float ->
+  spec ->
+  drive ->
+  wire_role array ->
+  plus:int ->
+  minus:int ->
+  float
+
+(** [rise_delay spec drive roles ~wire] — 50 %-Vdd delay of the rising
+    [Aggressor] at index [wire], measured at its far end from the
+    switching instant; [None] if it never reaches 50 % within the
+    simulated window.  Used to verify that shielded wires are faster per
+    unit length than wires whose neighbours switch opposingly (the [12]
+    claim §4 leans on). *)
+val rise_delay :
+  ?dt:float ->
+  ?t_end:float ->
+  spec ->
+  drive ->
+  wire_role array ->
+  wire:int ->
+  float option

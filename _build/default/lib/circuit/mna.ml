@@ -1,0 +1,85 @@
+type node = int
+
+let ground = 0
+
+type element =
+  | R of node * node * float
+  | C of node * node * float
+  | L of node * node * float * int
+  | K of int * int * float
+  | V of node * node * Waveform.t * int
+
+type t = {
+  mutable next_node : int;
+  mutable n_l : int;
+  mutable n_v : int;
+  mutable elems : element list; (* reversed *)
+}
+
+let create () = { next_node = 1; n_l = 0; n_v = 0; elems = [] }
+
+let node c =
+  let n = c.next_node in
+  c.next_node <- n + 1;
+  n
+
+let num_nodes c = c.next_node - 1
+let num_inductors c = c.n_l
+let num_vsources c = c.n_v
+
+let check_node c n name =
+  if n < 0 || n >= c.next_node then invalid_arg ("Mna." ^ name ^ ": unknown node")
+
+let resistor c a b r =
+  check_node c a "resistor";
+  check_node c b "resistor";
+  if r <= 0.0 then invalid_arg "Mna.resistor: non-positive resistance";
+  c.elems <- R (a, b, r) :: c.elems
+
+let capacitor c a b cap =
+  check_node c a "capacitor";
+  check_node c b "capacitor";
+  if cap <= 0.0 then invalid_arg "Mna.capacitor: non-positive capacitance";
+  c.elems <- C (a, b, cap) :: c.elems
+
+let inductor c a b l =
+  check_node c a "inductor";
+  check_node c b "inductor";
+  if l <= 0.0 then invalid_arg "Mna.inductor: non-positive inductance";
+  let idx = c.n_l in
+  c.n_l <- idx + 1;
+  c.elems <- L (a, b, l, idx) :: c.elems;
+  idx
+
+let mutual c i j k =
+  if i < 0 || i >= c.n_l || j < 0 || j >= c.n_l || i = j then
+    invalid_arg "Mna.mutual: bad inductor indices";
+  if Float.abs k >= 1.0 then invalid_arg "Mna.mutual: |k| must be < 1";
+  c.elems <- K (i, j, k) :: c.elems
+
+let vsource c a b w =
+  check_node c a "vsource";
+  check_node c b "vsource";
+  let idx = c.n_v in
+  c.n_v <- idx + 1;
+  c.elems <- V (a, b, w, idx) :: c.elems;
+  idx
+
+let elements c = List.rev c.elems
+
+let inductance_matrix c =
+  let module M = Eda_util.Matrix in
+  let n = max 1 c.n_l in
+  let m = M.create n n in
+  let self = Array.make n 0.0 in
+  List.iter (function L (_, _, l, i) -> self.(i) <- l | _ -> ()) (elements c);
+  List.iter
+    (function
+      | L (_, _, l, i) -> M.set m i i l
+      | K (i, j, k) ->
+          let mij = k *. sqrt (self.(i) *. self.(j)) in
+          M.set m i j mij;
+          M.set m j i mij
+      | R _ | C _ | V _ -> ())
+    (elements c);
+  m

@@ -1,0 +1,58 @@
+(** Linear circuit builder for modified nodal analysis.
+
+    Supports the element set needed to model coupled RLC interconnect:
+    resistors, capacitors, self inductors, mutual inductive coupling
+    (specified as a coupling coefficient, SPICE's [K] element), and
+    independent voltage sources with time-varying waveforms.
+
+    Node 0 is ground.  Fresh nodes come from {!node}. *)
+
+type node = int
+
+val ground : node
+
+type t
+
+val create : unit -> t
+
+(** [node c] allocates a fresh node. *)
+val node : t -> node
+
+val num_nodes : t -> int
+(** Highest allocated node id (ground excluded). *)
+
+val num_inductors : t -> int
+val num_vsources : t -> int
+
+(** [resistor c a b r] — requires [r > 0]. *)
+val resistor : t -> node -> node -> float -> unit
+
+(** [capacitor c a b cap] — requires [cap > 0]. *)
+val capacitor : t -> node -> node -> float -> unit
+
+(** [inductor c a b l] returns the inductor's index for use in {!mutual};
+    requires [l > 0]. *)
+val inductor : t -> node -> node -> float -> int
+
+(** [mutual c i j k] couples inductors [i] and [j] with coefficient
+    [k] (|k| < 1): M = k·√(LᵢLⱼ). *)
+val mutual : t -> int -> int -> float -> unit
+
+(** [vsource c a b w] adds an independent source ([a] is +). *)
+val vsource : t -> node -> node -> Waveform.t -> int
+
+(** [inductance_matrix c] is the full (symmetric) inductance matrix
+    including mutual terms; its positive definiteness is a physical
+    sanity check ({!Eda_util.Matrix.cholesky}). *)
+val inductance_matrix : t -> Eda_util.Matrix.t
+
+(** Internal description consumed by {!Transient}; exposed read-only. *)
+type element =
+  | R of node * node * float
+  | C of node * node * float
+  | L of node * node * float * int  (** a, b, L, index *)
+  | K of int * int * float
+  | V of node * node * Waveform.t * int  (** a, b, waveform, index *)
+
+val elements : t -> element list
+(** In insertion order. *)

@@ -1,0 +1,18 @@
+type t =
+  | Dc of float
+  | Ramp of { v0 : float; v1 : float; t_delay : float; t_rise : float }
+
+let value w t =
+  match w with
+  | Dc v -> v
+  | Ramp { v0; v1; t_delay; t_rise } ->
+      if t <= t_delay then v0
+      else if t >= t_delay +. t_rise then v1
+      else v0 +. ((v1 -. v0) *. (t -. t_delay) /. t_rise)
+
+let initial w = value w 0.0
+
+let pp fmt = function
+  | Dc v -> Format.fprintf fmt "dc(%g)" v
+  | Ramp { v0; v1; t_delay; t_rise } ->
+      Format.fprintf fmt "ramp(%g->%g @%g rise %g)" v0 v1 t_delay t_rise

@@ -1,0 +1,17 @@
+(** Independent-source waveforms.  All sources used to build the LSK table
+    are zero at t = 0, so the quiescent initial state of the transient
+    solver (everything at rest) is exact. *)
+
+type t =
+  | Dc of float  (** constant value *)
+  | Ramp of { v0 : float; v1 : float; t_delay : float; t_rise : float }
+      (** [v0] until [t_delay], linear to [v1] over [t_rise], then [v1] —
+          the switching-aggressor stimulus *)
+
+(** [value w t] evaluates the waveform. *)
+val value : t -> float -> float
+
+(** [initial w] is [value w 0.]. *)
+val initial : t -> float
+
+val pp : Format.formatter -> t -> unit

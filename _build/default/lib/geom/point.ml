@@ -1,0 +1,18 @@
+type t = { x : int; y : int }
+
+let make x y = { x; y }
+let equal a b = a.x = b.x && a.y = b.y
+
+let compare a b =
+  let c = Int.compare a.x b.x in
+  if c <> 0 then c else Int.compare a.y b.y
+
+let manhattan a b = abs (a.x - b.x) + abs (a.y - b.y)
+let add a b = { x = a.x + b.x; y = a.y + b.y }
+let sub a b = { x = a.x - b.x; y = a.y - b.y }
+
+let clamp p ~lo ~hi =
+  { x = min (max p.x lo.x) hi.x; y = min (max p.y lo.y) hi.y }
+
+let pp fmt p = Format.fprintf fmt "(%d,%d)" p.x p.y
+let to_string p = Format.asprintf "%a" pp p

@@ -1,0 +1,22 @@
+(** Integer lattice points.  Coordinates are in layout database units
+    (micrometres for physical positions, region indices for grid
+    positions — both are plain ints). *)
+
+type t = { x : int; y : int }
+
+val make : int -> int -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [manhattan a b] is the L1 distance — the paper's source–sink distance
+    [L_e] used for crosstalk budgeting. *)
+val manhattan : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+
+(** [clamp p ~lo ~hi] clamps both coordinates into the inclusive box. *)
+val clamp : t -> lo:t -> hi:t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

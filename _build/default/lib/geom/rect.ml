@@ -1,0 +1,50 @@
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+let make xa ya xb yb =
+  { x0 = min xa xb; y0 = min ya yb; x1 = max xa xb; y1 = max ya yb }
+
+let of_points = function
+  | [] -> invalid_arg "Rect.of_points: empty list"
+  | p :: rest ->
+      let open Point in
+      List.fold_left
+        (fun r q ->
+          {
+            x0 = min r.x0 q.x;
+            y0 = min r.y0 q.y;
+            x1 = max r.x1 q.x;
+            y1 = max r.y1 q.y;
+          })
+        { x0 = p.x; y0 = p.y; x1 = p.x; y1 = p.y }
+        rest
+
+let width r = r.x1 - r.x0 + 1
+let height r = r.y1 - r.y0 + 1
+let cells r = width r * height r
+let half_perimeter r = r.x1 - r.x0 + (r.y1 - r.y0)
+let contains r (p : Point.t) = p.x >= r.x0 && p.x <= r.x1 && p.y >= r.y0 && p.y <= r.y1
+
+let expand r n =
+  if width r + (2 * n) <= 0 || height r + (2 * n) <= 0 then
+    invalid_arg "Rect.expand: rectangle collapsed";
+  { x0 = r.x0 - n; y0 = r.y0 - n; x1 = r.x1 + n; y1 = r.y1 + n }
+
+let intersect a b =
+  let x0 = max a.x0 b.x0 and y0 = max a.y0 b.y0 in
+  let x1 = min a.x1 b.x1 and y1 = min a.y1 b.y1 in
+  if x0 > x1 || y0 > y1 then None else Some { x0; y0; x1; y1 }
+
+let clip r ~within =
+  match intersect r within with
+  | Some r' -> r'
+  | None -> invalid_arg "Rect.clip: disjoint rectangles"
+
+let iter r f =
+  for y = r.y0 to r.y1 do
+    for x = r.x0 to r.x1 do
+      f (Point.make x y)
+    done
+  done
+
+let equal a b = a.x0 = b.x0 && a.y0 = b.y0 && a.x1 = b.x1 && a.y1 = b.y1
+let pp fmt r = Format.fprintf fmt "[%d,%d..%d,%d]" r.x0 r.y0 r.x1 r.y1

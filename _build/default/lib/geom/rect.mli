@@ -1,0 +1,37 @@
+(** Axis-aligned integer rectangles (inclusive bounds), used for net
+    bounding boxes and routing-region extents. *)
+
+type t = { x0 : int; y0 : int; x1 : int; y1 : int }
+
+(** [make x0 y0 x1 y1] normalizes corner order. *)
+val make : int -> int -> int -> int -> t
+
+(** [of_points pts] is the bounding box of a non-empty point list. *)
+val of_points : Point.t list -> t
+
+val width : t -> int (** number of columns spanned (inclusive) *)
+
+val height : t -> int (** number of rows spanned (inclusive) *)
+
+(** [cells r] is [width * height] — the number of lattice cells inside. *)
+val cells : t -> int
+
+(** [half_perimeter r] is the HPWL lower bound on a net's wire length. *)
+val half_perimeter : t -> int
+
+val contains : t -> Point.t -> bool
+
+(** [expand r n] grows all four sides by [n] (may be negative). *)
+val expand : t -> int -> t
+
+(** [intersect a b] is the overlapping rectangle, if any. *)
+val intersect : t -> t -> t option
+
+(** [clip r ~within] intersects, raising [Invalid_argument] if disjoint. *)
+val clip : t -> within:t -> t
+
+(** [iter r f] calls [f p] for every lattice point inside, row-major. *)
+val iter : t -> (Point.t -> unit) -> unit
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

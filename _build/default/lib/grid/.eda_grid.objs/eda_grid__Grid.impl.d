@@ -1,0 +1,1 @@
+lib/grid/grid.ml: Array Dir Eda_geom Eda_netlist Float Format Net Netlist Point Rect

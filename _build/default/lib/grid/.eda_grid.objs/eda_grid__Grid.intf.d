@@ -1,0 +1,1 @@
+lib/grid/grid.mli: Dir Eda_geom Eda_netlist Format

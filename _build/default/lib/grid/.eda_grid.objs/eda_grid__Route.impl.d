@@ -1,0 +1,1 @@
+lib/grid/route.ml: Array Dir Eda_util Format Grid Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/grid/route.mli: Dir Eda_geom Format Grid

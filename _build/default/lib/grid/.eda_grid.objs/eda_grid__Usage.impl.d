@@ -1,0 +1,1 @@
+lib/grid/usage.ml: Array Dir Eda_geom Float Format Grid List Point Route

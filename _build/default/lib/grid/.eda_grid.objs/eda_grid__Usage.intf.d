@@ -1,0 +1,1 @@
+lib/grid/usage.mli: Dir Format Grid Route

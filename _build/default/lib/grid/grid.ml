@@ -1,0 +1,97 @@
+open Eda_geom
+
+type t = { w : int; h : int; hcap : int array; vcap : int array }
+
+let make ~w ~h ~hcap ~vcap =
+  if w < 1 || h < 1 then invalid_arg "Grid.make: empty grid";
+  if hcap < 1 || vcap < 1 then invalid_arg "Grid.make: empty capacity";
+  { w; h; hcap = Array.make (w * h) hcap; vcap = Array.make (w * h) vcap }
+
+let width g = g.w
+let height g = g.h
+let num_regions g = g.w * g.h
+let num_h_edges g = (g.w - 1) * g.h
+let num_edges g = num_h_edges g + (g.w * (g.h - 1))
+let in_bounds g (p : Point.t) = p.x >= 0 && p.x < g.w && p.y >= 0 && p.y < g.h
+
+let region_id g (p : Point.t) =
+  if not (in_bounds g p) then invalid_arg "Grid.region_id: out of bounds";
+  (p.y * g.w) + p.x
+
+let region_pt g r =
+  if r < 0 || r >= num_regions g then invalid_arg "Grid.region_pt: bad id";
+  Point.make (r mod g.w) (r / g.w)
+
+let cap g p = function
+  | Dir.H -> g.hcap.(region_id g p)
+  | Dir.V -> g.vcap.(region_id g p)
+
+let edge_id g (p : Point.t) dir =
+  match dir with
+  | Dir.H ->
+      if p.x < 0 || p.x >= g.w - 1 || p.y < 0 || p.y >= g.h then
+        invalid_arg "Grid.edge_id: H edge out of bounds";
+      (p.y * (g.w - 1)) + p.x
+  | Dir.V ->
+      if p.x < 0 || p.x >= g.w || p.y < 0 || p.y >= g.h - 1 then
+        invalid_arg "Grid.edge_id: V edge out of bounds";
+      num_h_edges g + (p.y * g.w) + p.x
+
+let edge_dir g e =
+  if e < 0 || e >= num_edges g then invalid_arg "Grid.edge_dir: bad id";
+  if e < num_h_edges g then Dir.H else Dir.V
+
+let edge_ends g e =
+  match edge_dir g e with
+  | Dir.H ->
+      let y = e / (g.w - 1) and x = e mod (g.w - 1) in
+      (Point.make x y, Point.make (x + 1) y)
+  | Dir.V ->
+      let e' = e - num_h_edges g in
+      let y = e' / g.w and x = e' mod g.w in
+      (Point.make x y, Point.make x (y + 1))
+
+let edges_within g rect =
+  match Rect.intersect rect (Rect.make 0 0 (g.w - 1) (g.h - 1)) with
+  | None -> []
+  | Some r ->
+      let acc = ref [] in
+      for y = r.Rect.y1 downto r.Rect.y0 do
+        for x = r.Rect.x1 downto r.Rect.x0 do
+          if x < r.Rect.x1 then acc := edge_id g (Point.make x y) Dir.H :: !acc;
+          if y < r.Rect.y1 then acc := edge_id g (Point.make x y) Dir.V :: !acc
+        done
+      done;
+      !acc
+
+let incident_edges g (p : Point.t) =
+  let acc = ref [] in
+  if p.x > 0 then acc := edge_id g (Point.make (p.x - 1) p.y) Dir.H :: !acc;
+  if p.x < g.w - 1 then acc := edge_id g p Dir.H :: !acc;
+  if p.y > 0 then acc := edge_id g (Point.make p.x (p.y - 1)) Dir.V :: !acc;
+  if p.y < g.h - 1 then acc := edge_id g p Dir.V :: !acc;
+  !acc
+
+let auto ~util_target nl =
+  if util_target <= 0.0 || util_target > 1.0 then
+    invalid_arg "Grid.auto: util_target in (0,1]";
+  let open Eda_netlist in
+  let w = nl.Netlist.grid_w and h = nl.Netlist.grid_h in
+  (* Expected per-direction track-region occupancies if every net were
+     routed on its bounding box: a net spanning dx columns occupies a
+     horizontal track in about dx+1 regions. *)
+  let occ_h = ref 0.0 and occ_v = ref 0.0 in
+  Array.iter
+    (fun n ->
+      let b = Net.bbox n in
+      if Rect.width b > 1 then occ_h := !occ_h +. float_of_int (Rect.width b);
+      if Rect.height b > 1 then occ_v := !occ_v +. float_of_int (Rect.height b))
+    nl.Netlist.nets;
+  let regions = float_of_int (w * h) in
+  let derive occ =
+    max 12 (int_of_float (Float.ceil (occ /. regions /. util_target)))
+  in
+  { w; h; hcap = Array.make (w * h) (derive !occ_h); vcap = Array.make (w * h) (derive !occ_v) }
+
+let pp fmt g =
+  Format.fprintf fmt "grid %dx%d (hcap=%d vcap=%d)" g.w g.h g.hcap.(0) g.vcap.(0)

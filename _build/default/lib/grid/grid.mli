@@ -1,0 +1,53 @@
+(** The routing-region grid (paper §2.1): the two over-the-cell layers are
+    cut by pre-routed power/ground wires into a [w]×[h] array of regions.
+    Region [R(x,y)] offers [hcap] horizontal and [vcap] vertical tracks; a
+    track holds a segment of either a signal net or a shield.  P/G wires
+    are assumed wide enough that regions do not couple (§2.1), which is why
+    crosstalk can be handled region by region.
+
+    Regions are indexed [0 .. w*h-1] row-major; the boundaries between
+    adjacent regions form the global-routing edges, indexed densely so the
+    router can use plain arrays. *)
+
+type t
+
+(** [make ~w ~h ~hcap ~vcap] builds a grid with uniform capacities. *)
+val make : w:int -> h:int -> hcap:int -> vcap:int -> t
+
+(** [auto ~util_target netlist] derives uniform capacities from the
+    netlist's expected track demand so that average per-region utilization
+    is about [util_target] (the paper's circuits are routable with margin;
+    this plays the role of the technology's fixed track count). *)
+val auto : util_target:float -> Eda_netlist.Netlist.t -> t
+
+val width : t -> int
+val height : t -> int
+val num_regions : t -> int
+val num_edges : t -> int
+
+(** Capacity of a region in a direction. *)
+val cap : t -> Eda_geom.Point.t -> Dir.t -> int
+
+(** Region/point conversions. *)
+val region_id : t -> Eda_geom.Point.t -> int
+
+val region_pt : t -> int -> Eda_geom.Point.t
+val in_bounds : t -> Eda_geom.Point.t -> bool
+
+(** Edge accessors.  An edge joins two adjacent regions; its direction is
+    [H] for east–west neighbours and [V] for north–south. *)
+val edge_id : t -> Eda_geom.Point.t -> Dir.t -> int
+(** [edge_id g p d] is the edge leaving [p] eastwards ([H]) or northwards
+    ([V]).  Raises [Invalid_argument] if it would leave the grid. *)
+
+val edge_ends : t -> int -> Eda_geom.Point.t * Eda_geom.Point.t
+val edge_dir : t -> int -> Dir.t
+
+(** [edges_within g rect] lists all edge ids with both endpoints inside
+    [rect] (clipped to the grid). *)
+val edges_within : t -> Eda_geom.Rect.t -> int list
+
+(** [incident_edges g p] lists the 2–4 edges touching region [p]. *)
+val incident_edges : t -> Eda_geom.Point.t -> int list
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/gsino/budget.ml: Array Eda_geom Eda_grid Eda_lsk Eda_netlist Eda_util Format Net Netlist

@@ -1,0 +1,1 @@
+lib/gsino/budget.mli: Eda_grid Eda_lsk Eda_netlist Eda_util Format

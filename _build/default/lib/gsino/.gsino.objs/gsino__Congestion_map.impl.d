@@ -1,0 +1,1 @@
+lib/gsino/congestion_map.ml: Eda_geom Eda_grid Float Format List String

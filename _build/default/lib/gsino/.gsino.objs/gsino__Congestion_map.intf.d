@@ -1,0 +1,1 @@
+lib/gsino/congestion_map.mli: Eda_grid Format

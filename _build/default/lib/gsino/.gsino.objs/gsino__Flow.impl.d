@@ -1,0 +1,1 @@
+lib/gsino/flow.ml: Array Budget Eda_grid Eda_netlist Eda_sino Float Format Id_router List Nc_router Noise Phase2 Refine Sys Tech

@@ -1,0 +1,1 @@
+lib/gsino/flow.mli: Budget Eda_grid Eda_netlist Format Phase2 Refine Tech

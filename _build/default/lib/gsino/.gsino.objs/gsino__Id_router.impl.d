@@ -1,0 +1,1 @@
+lib/gsino/id_router.ml: Array Eda_geom Eda_grid Eda_netlist Eda_sino Eda_steiner Eda_util Float Hashtbl List Option Point Queue Rect

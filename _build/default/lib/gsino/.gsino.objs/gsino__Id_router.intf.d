@@ -1,0 +1,1 @@
+lib/gsino/id_router.mli: Eda_grid Eda_netlist Eda_sino

@@ -1,0 +1,1 @@
+lib/gsino/nc_router.ml: Array Eda_grid Eda_netlist Eda_sino Eda_steiner Eda_util Float Hashtbl Id_router List

@@ -1,0 +1,1 @@
+lib/gsino/nc_router.mli: Eda_grid Eda_netlist Id_router

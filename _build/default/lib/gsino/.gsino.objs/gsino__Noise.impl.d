@@ -1,0 +1,1 @@
+lib/gsino/noise.ml: Array Eda_grid Eda_lsk Eda_netlist List Phase2

@@ -1,0 +1,1 @@
+lib/gsino/noise.mli: Eda_geom Eda_grid Eda_lsk Eda_netlist Phase2

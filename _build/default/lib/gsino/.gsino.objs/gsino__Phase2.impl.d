@@ -1,0 +1,1 @@
+lib/gsino/phase2.ml: Array Eda_grid Eda_netlist Eda_sino Eda_util Hashtbl List Option

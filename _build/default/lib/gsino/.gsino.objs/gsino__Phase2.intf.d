@@ -1,0 +1,1 @@
+lib/gsino/phase2.mli: Eda_grid Eda_netlist Eda_sino Eda_util Hashtbl

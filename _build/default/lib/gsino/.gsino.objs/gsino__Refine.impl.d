@@ -1,0 +1,1 @@
+lib/gsino/refine.ml: Array Eda_grid Eda_lsk Eda_netlist Eda_sino Eda_util Float Format Hashtbl List Noise Phase2

@@ -1,0 +1,1 @@
+lib/gsino/refine.mli: Eda_grid Eda_lsk Eda_netlist Format Phase2

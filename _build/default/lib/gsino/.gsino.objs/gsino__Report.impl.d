@@ -1,0 +1,1 @@
+lib/gsino/report.ml: Eda_netlist Float Flow Format Hashtbl List Option Printf Refine Tech

@@ -1,0 +1,1 @@
+lib/gsino/report.mli: Eda_netlist Flow Format Tech

@@ -1,0 +1,1 @@
+lib/gsino/tech.ml: Eda_grid Eda_lsk Eda_sino Hashtbl Lazy

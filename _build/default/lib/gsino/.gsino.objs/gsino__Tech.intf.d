@@ -1,0 +1,1 @@
+lib/gsino/tech.mli: Eda_grid Eda_lsk Eda_netlist Eda_sino

@@ -1,0 +1,29 @@
+module Grid = Eda_grid.Grid
+module Dir = Eda_grid.Dir
+module Usage = Eda_grid.Usage
+
+let ramp = " .:-=+*#%@"
+
+let glyph u =
+  if u > 1.0 +. 1e-9 then '!'
+  else begin
+    let n = String.length ramp in
+    let i = int_of_float (Float.round (u *. float_of_int (n - 1))) in
+    ramp.[max 0 (min (n - 1) i)]
+  end
+
+let render_dir fmt usage dir =
+  let grid = Usage.grid usage in
+  Format.fprintf fmt "%s tracks (utilization; '!' = over capacity):@\n"
+    (Dir.to_string dir);
+  for y = Grid.height grid - 1 downto 0 do
+    Format.fprintf fmt "  ";
+    for x = 0 to Grid.width grid - 1 do
+      let r = Grid.region_id grid (Eda_geom.Point.make x y) in
+      Format.fprintf fmt "%c" (glyph (Usage.utilization usage r dir))
+    done;
+    Format.fprintf fmt "@\n"
+  done
+
+let render fmt usage =
+  List.iter (render_dir fmt usage) Dir.all

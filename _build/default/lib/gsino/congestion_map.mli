@@ -1,0 +1,11 @@
+(** ASCII congestion heat maps — the quick visual check of where track
+    demand (and shield demand) concentrates.  One character per region;
+    rows are printed north to south. *)
+
+(** [render fmt usage] draws one map per direction.  The glyph ramp is
+    [" .:-=+*#%@"], linear in utilization up to 1.0; regions above
+    capacity show as ['!'].  *)
+val render : Format.formatter -> Eda_grid.Usage.t -> unit
+
+(** [render_dir fmt usage dir] draws a single direction's map. *)
+val render_dir : Format.formatter -> Eda_grid.Usage.t -> Eda_grid.Dir.t -> unit

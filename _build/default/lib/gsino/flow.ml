@@ -1,0 +1,180 @@
+module Grid = Eda_grid.Grid
+module Route = Eda_grid.Route
+module Usage = Eda_grid.Usage
+module Netlist = Eda_netlist.Netlist
+module Sensitivity = Eda_netlist.Sensitivity
+module Estimate = Eda_sino.Estimate
+
+type kind = Id_no | Isino | Gsino
+
+let kind_name = function Id_no -> "ID+NO" | Isino -> "iSINO" | Gsino -> "GSINO"
+
+type result = {
+  kind : kind;
+  netlist : Netlist.t;
+  grid : Grid.t;
+  sensitivity : Sensitivity.t;
+  routes : Route.t array;
+  budget : Budget.t;
+  phase2 : Phase2.t;
+  usage : Usage.t;
+  refine_stats : Refine.stats option;
+  violations : (int * float) list;
+  avg_wl_um : float;
+  total_wl_um : float;
+  area : float * float * float;
+  shields : int;
+  route_s : float;
+  sino_s : float;
+  refine_s : float;
+}
+
+let timed f =
+  let t0 = Sys.time () in
+  let v = f () in
+  (v, Sys.time () -. t0)
+
+type router = Iterative_deletion | Negotiated
+
+let route_with router tech grid netlist shield_model =
+  match router with
+  | Iterative_deletion ->
+      Id_router.route ~grid ~netlist
+        ~weights:
+          {
+            Id_router.alpha = tech.Tech.alpha;
+            beta = tech.Tech.beta;
+            gamma = tech.Tech.gamma;
+          }
+        ~shield_model ()
+  | Negotiated -> Nc_router.route ~grid ~netlist ~shield_model ()
+
+let base_routes ?(router = Iterative_deletion) tech grid netlist =
+  route_with router tech grid netlist Id_router.No_shields
+
+let demand_quantile usage grid q dir =
+  let n = Grid.num_regions grid in
+  let a = Array.init n (fun r -> Usage.nns usage r dir) in
+  Array.sort compare a;
+  a.(min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1)))))
+
+let prepare ?(cap_quantile = 0.90) ?(router = Iterative_deletion) tech netlist =
+  (* Pass 1: route with loose auto-capacities to observe regional demand.
+     Pass 2: clamp the capacities near the top of that demand and
+     re-route, so the conventional router is balancing right at the edge
+     of capacity — the regime the paper's circuits are in (ID+NO fits the
+     placement; every further track, i.e. every shield, risks expanding
+     it). *)
+  let grid0 = Tech.grid_for tech netlist in
+  let base0 = base_routes ~router tech grid0 netlist in
+  let usage0 =
+    Usage.of_routes grid0 ~gcell_um:netlist.Netlist.gcell_um (Array.to_list base0)
+  in
+  let cap dir = max 4 (demand_quantile usage0 grid0 cap_quantile dir) in
+  let grid =
+    Grid.make ~w:(Grid.width grid0) ~h:(Grid.height grid0)
+      ~hcap:(cap Eda_grid.Dir.H) ~vcap:(cap Eda_grid.Dir.V)
+  in
+  let base = base_routes ~router tech grid netlist in
+  (grid, base)
+
+type budgeting = Uniform | Route_aware
+
+let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
+    ?(budgeting = Uniform) ?grid ?base netlist kind =
+  let grid = match grid with Some g -> g | None -> Tech.grid_for tech netlist in
+  let lsk_model = Tech.lsk_model tech in
+  let gcell_um = netlist.Netlist.gcell_um in
+  let budget =
+    Budget.uniform ~lsk:lsk_model ~noise_v:tech.Tech.noise_bound_v ~gcell_um netlist
+  in
+  let routes, route_s =
+    match kind with
+    | Id_no | Isino -> (
+        match base with
+        | Some r -> (r, 0.0)
+        | None -> timed (fun () -> base_routes ~router tech grid netlist))
+    | Gsino ->
+        timed (fun () ->
+            route_with router tech grid netlist
+              (Id_router.Per_net
+                 {
+                   keff = tech.Tech.keff;
+                   rate = Sensitivity.rate sensitivity;
+                   kth = Budget.kth budget;
+                 }))
+  in
+  (* route-aware budgeting re-partitions the bounds from the realized
+     path lengths now that the routes exist (Phase I's router weight
+     already used the uniform budget above) *)
+  let budget =
+    match budgeting with
+    | Uniform -> budget
+    | Route_aware ->
+        Budget.route_aware ~lsk:lsk_model ~noise_v:tech.Tech.noise_bound_v
+          ~gcell_um ~grid ~routes netlist
+  in
+  let mode =
+    match kind with Id_no -> Phase2.Order_only | Isino | Gsino -> Phase2.Min_area
+  in
+  let phase2, sino_s =
+    timed (fun () ->
+        Phase2.solve ~grid ~netlist ~routes ~kth:(Budget.kth budget) ~sensitivity
+          ~keff:tech.Tech.keff ~mode ~seed ())
+  in
+  let usage = Usage.of_routes grid ~gcell_um (Array.to_list routes) in
+  Phase2.apply_shields usage phase2;
+  let refine_stats, refine_s =
+    match kind with
+    | Id_no -> (None, 0.0)
+    | Isino | Gsino ->
+        let stats, s =
+          timed (fun () ->
+              Refine.run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
+                ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d))
+        in
+        (Some stats, s)
+  in
+  let violations =
+    Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes
+      ~bound_v:tech.Tech.noise_bound_v
+  in
+  let lengths = Array.map (fun r -> Route.length_um r ~gcell_um) routes in
+  let total_wl_um = Array.fold_left ( +. ) 0.0 lengths in
+  let avg_wl_um =
+    if Array.length lengths = 0 then 0.0
+    else total_wl_um /. float_of_int (Array.length lengths)
+  in
+  {
+    kind;
+    netlist;
+    grid;
+    sensitivity;
+    routes;
+    budget;
+    phase2;
+    usage;
+    refine_stats;
+    violations;
+    avg_wl_um;
+    total_wl_um;
+    area = Usage.expanded_area usage;
+    shields = Phase2.total_shields phase2;
+    route_s;
+    sino_s;
+    refine_s;
+  }
+
+let violation_count r = List.length r.violations
+
+let violation_pct r =
+  100.0 *. float_of_int (violation_count r)
+  /. float_of_int (max 1 (Netlist.num_nets r.netlist))
+
+let pp_summary fmt r =
+  let row, col, area = r.area in
+  Format.fprintf fmt
+    "%s on %s: %d violations (%.2f%%), avg WL %.0fum, area %.0fx%.0f=%.3e, %d shields (route %.1fs, sino %.1fs, refine %.1fs)"
+    (kind_name r.kind) r.netlist.Netlist.name (violation_count r)
+    (violation_pct r) r.avg_wl_um row col area r.shields r.route_s r.sino_s
+    r.refine_s

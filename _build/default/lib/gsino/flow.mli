@@ -1,0 +1,98 @@
+(** End-to-end flows — the three approaches compared in §4:
+
+    - [Id_no]  : conventional ID global routing (wire length + congestion
+                 only) followed by net ordering per region.  No shields.
+                 This baseline is *not* crosstalk-aware; its violations are
+                 what Table 1 counts.
+    - [Isino]  : the same conventional routing, followed by min-area SINO
+                 per region (and local refinement to clear detour-induced
+                 violations).  Shields appear wherever the router happened
+                 to pack sensitive nets — the area blow-up of Table 3.
+    - [Gsino]  : the paper's three-phase algorithm: crosstalk budgeting +
+                 shield-aware ID routing (Formula 2 with the Formula-3
+                 [Nss] term), SINO per region, and two-pass local
+                 refinement.
+
+    ID+NO and iSINO share the identical base routing (the paper runs both
+    "without Nss in HU" for fairness); use {!base_routes} once and pass it
+    to both runs. *)
+
+type kind = Id_no | Isino | Gsino
+
+val kind_name : kind -> string
+
+(** Global-routing engine: the paper's iterative deletion, or the
+    negotiated-congestion router of {!Nc_router} (§5's faster
+    alternative).  Both accept the same shield models. *)
+type router = Iterative_deletion | Negotiated
+
+(** Crosstalk-budget partitioning for Phases II/III: the paper's uniform
+    Manhattan split, or the route-aware variant of {!Budget.route_aware}
+    (§5's "alternative budgeting approaches"). *)
+type budgeting = Uniform | Route_aware
+
+type result = {
+  kind : kind;
+  netlist : Eda_netlist.Netlist.t;
+  grid : Eda_grid.Grid.t;
+  sensitivity : Eda_netlist.Sensitivity.t;
+  routes : Eda_grid.Route.t array;
+  budget : Budget.t;
+  phase2 : Phase2.t;
+  usage : Eda_grid.Usage.t;
+  refine_stats : Refine.stats option;
+  violations : (int * float) list;  (** nets over the noise bound, worst first *)
+  avg_wl_um : float;
+  total_wl_um : float;
+  area : float * float * float;  (** max row, max col, product (µm, µm, µm²) *)
+  shields : int;
+  route_s : float;  (** CPU seconds in global routing *)
+  sino_s : float;  (** CPU seconds in Phase II *)
+  refine_s : float;  (** CPU seconds in Phase III *)
+}
+
+(** [base_routes ?router tech grid netlist] — conventional routing, no
+    shield term; shared by ID+NO and iSINO. *)
+val base_routes :
+  ?router:router ->
+  Tech.t ->
+  Eda_grid.Grid.t ->
+  Eda_netlist.Netlist.t ->
+  Eda_grid.Route.t array
+
+(** [prepare tech netlist] — the shared experimental setup: route the
+    conventional (no-shield) flow on auto-provisioned capacities, then
+    tighten every region's per-direction capacity to that routing's peak
+    demand.  This mirrors the paper's setting where the placement exactly
+    accommodates conventional routing (ID+NO area = placement area in
+    Table 3) and all of iSINO's/GSINO's area overhead comes from
+    shields. *)
+val prepare :
+  ?cap_quantile:float ->
+  ?router:router ->
+  Tech.t ->
+  Eda_netlist.Netlist.t ->
+  Eda_grid.Grid.t * Eda_grid.Route.t array
+
+(** [run tech ~sensitivity ~seed ?grid ?base netlist kind] executes a
+    flow.  Pass the [grid] and [base] from {!prepare} so the three
+    approaches share one setup ([base] is ignored by [Gsino], which
+    re-routes shield-aware). *)
+val run :
+  Tech.t ->
+  sensitivity:Eda_netlist.Sensitivity.t ->
+  seed:int ->
+  ?router:router ->
+  ?budgeting:budgeting ->
+  ?grid:Eda_grid.Grid.t ->
+  ?base:Eda_grid.Route.t array ->
+  Eda_netlist.Netlist.t ->
+  kind ->
+  result
+
+(** [violation_count r] / [violation_pct r] — Table 1's metrics. *)
+val violation_count : result -> int
+
+val violation_pct : result -> float
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,44 @@
+module Grid = Eda_grid.Grid
+module Route = Eda_grid.Route
+module Net = Eda_netlist.Net
+module Netlist = Eda_netlist.Netlist
+
+let sink_lsk ~grid ~gcell_um ~phase2 route ~source ~sink =
+  let edges = Route.path_edges grid route ~source ~sink in
+  List.fold_left
+    (fun acc e ->
+      let d = Grid.edge_dir grid e in
+      let a, b = Grid.edge_ends grid e in
+      let half p =
+        let r = Grid.region_id grid p in
+        0.5 *. gcell_um *. Phase2.k_of phase2 ~net:(Route.net route) (r, d)
+      in
+      acc +. half a +. half b)
+    0.0 edges
+
+let worst_sink ~grid ~gcell_um ~phase2 ~lsk_model ~net route =
+  let worst = ref (net.Net.sinks.(0), 0.0, -1.0) in
+  Array.iter
+    (fun sink ->
+      let lsk =
+        try sink_lsk ~grid ~gcell_um ~phase2 route ~source:net.Net.source ~sink
+        with Not_found -> invalid_arg "Noise.worst_sink: route does not reach sink"
+      in
+      let v = Eda_lsk.Lsk.noise lsk_model ~lsk in
+      let _, _, wv = !worst in
+      if v > wv then worst := (sink, lsk, v))
+    net.Net.sinks;
+  !worst
+
+let net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net route =
+  let _, lsk, v = worst_sink ~grid ~gcell_um ~phase2 ~lsk_model ~net route in
+  (lsk, v)
+
+let violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v =
+  let out = ref [] in
+  Array.iteri
+    (fun i net ->
+      let _, v = net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net routes.(i) in
+      if v > bound_v +. 1e-12 then out := (i, v) :: !out)
+    netlist.Netlist.nets;
+  List.sort (fun (_, a) (_, b) -> compare b a) !out

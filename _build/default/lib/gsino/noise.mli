@@ -1,0 +1,52 @@
+(** Post-layout RLC noise evaluation: the LSK sum of Equation (1) walked
+    over a net's routed tree and the per-region SINO/NO layouts, mapped to
+    volts through the LSK table — how crosstalk violations are counted in
+    Tables 1 and how Phase III decides who to fix. *)
+
+(** [sink_lsk ~grid ~gcell_um ~phase2 route ~source ~sink] — LSK along the
+    tree path from source to sink: each path edge contributes half a gcell
+    of length in each of its two regions, at that region's achieved
+    K_i^j. *)
+val sink_lsk :
+  grid:Eda_grid.Grid.t ->
+  gcell_um:float ->
+  phase2:Phase2.t ->
+  Eda_grid.Route.t ->
+  source:Eda_geom.Point.t ->
+  sink:Eda_geom.Point.t ->
+  float
+
+(** [net_worst ~grid ~gcell_um ~phase2 ~net route] — the worst sink's
+    [(lsk, noise_v)] under the model [lsk_model]. *)
+val net_worst :
+  grid:Eda_grid.Grid.t ->
+  gcell_um:float ->
+  phase2:Phase2.t ->
+  lsk_model:Eda_lsk.Lsk.t ->
+  net:Eda_netlist.Net.t ->
+  Eda_grid.Route.t ->
+  float * float
+
+(** [worst_sink ~grid ~gcell_um ~phase2 ~lsk_model ~net route] — the sink
+    with the highest predicted noise, with its LSK and noise; Phase III
+    tightens along the tree path to this sink. *)
+val worst_sink :
+  grid:Eda_grid.Grid.t ->
+  gcell_um:float ->
+  phase2:Phase2.t ->
+  lsk_model:Eda_lsk.Lsk.t ->
+  net:Eda_netlist.Net.t ->
+  Eda_grid.Route.t ->
+  Eda_geom.Point.t * float * float
+
+(** [violations ~netlist ~routes ...] — ids of nets whose worst sink noise
+    exceeds [bound_v], with their noise, sorted worst first. *)
+val violations :
+  grid:Eda_grid.Grid.t ->
+  gcell_um:float ->
+  phase2:Phase2.t ->
+  lsk_model:Eda_lsk.Lsk.t ->
+  netlist:Eda_netlist.Netlist.t ->
+  routes:Eda_grid.Route.t array ->
+  bound_v:float ->
+  (int * float) list

@@ -1,0 +1,117 @@
+module Grid = Eda_grid.Grid
+module Route = Eda_grid.Route
+module Dir = Eda_grid.Dir
+module Usage = Eda_grid.Usage
+module Netlist = Eda_netlist.Netlist
+module Sensitivity = Eda_netlist.Sensitivity
+module Instance = Eda_sino.Instance
+module Layout = Eda_sino.Layout
+module Solver = Eda_sino.Solver
+module Keff = Eda_sino.Keff
+module Rng = Eda_util.Rng
+
+type key = int * Dir.t
+
+type soln = {
+  inst : Instance.t;
+  layout : Layout.t;
+  k : (int, float) Hashtbl.t;
+}
+
+type mode = Order_only | Min_area
+
+type t = {
+  grid : Grid.t;
+  keff : Keff.params;
+  table : (key, soln) Hashtbl.t;
+  net_regions : (int, key list) Hashtbl.t;
+}
+
+let grid t = t.grid
+let keff t = t.keff
+
+let soln_of_layout ~keff inst layout =
+  let k = Hashtbl.create (Instance.size inst) in
+  Array.iteri
+    (fun i ki -> Hashtbl.replace k (Instance.net_id inst i) ki)
+    (Layout.k_all layout keff);
+  { inst; layout; k }
+
+let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed () =
+  let members : (key, int list) Hashtbl.t = Hashtbl.create 256 in
+  let net_regions : (int, key list) Hashtbl.t = Hashtbl.create 256 in
+  Array.iter
+    (fun route ->
+      let net = Route.net route in
+      List.iter
+        (fun ((r, d) as key) ->
+          ignore r;
+          ignore d;
+          Hashtbl.replace members key
+            (net :: Option.value (Hashtbl.find_opt members key) ~default:[]);
+          Hashtbl.replace net_regions net
+            (key :: Option.value (Hashtbl.find_opt net_regions net) ~default:[]))
+        (Route.occupied grid route))
+    routes;
+  ignore netlist;
+  let table = Hashtbl.create (Hashtbl.length members) in
+  Hashtbl.iter
+    (fun ((r, d) as key) nets ->
+      let nets = Array.of_list (List.sort_uniq compare nets) in
+      let kth_arr = Array.map kth nets in
+      let inst =
+        Instance.make ~nets ~kth:kth_arr ~sensitive:(Sensitivity.sensitive sensitivity)
+      in
+      let rng =
+        Rng.create (Hashtbl.hash (seed, r, Dir.to_string d))
+      in
+      let layout =
+        match mode with
+        | Order_only -> Solver.order_only rng inst
+        | Min_area -> Solver.min_area ~params:keff rng inst
+      in
+      Hashtbl.replace table key (soln_of_layout ~keff inst layout))
+    members;
+  { grid; keff; table; net_regions }
+
+let find t key = Hashtbl.find_opt t.table key
+
+let k_of t ~net key =
+  match find t key with
+  | None -> 0.0
+  | Some s -> Option.value (Hashtbl.find_opt s.k net) ~default:0.0
+
+let shields t key =
+  match find t key with None -> 0 | Some s -> Layout.num_shields s.layout
+
+let total_shields t =
+  Hashtbl.fold (fun _ s acc -> acc + Layout.num_shields s.layout) t.table 0
+
+let replace t key soln = Hashtbl.replace t.table key soln
+
+let resolve t key inst rng =
+  (* warm-start from the current layout when the instance is the same net
+     set with changed bounds (the Phase III case): keeps the ordering and
+     the other nets' couplings stable, and is much cheaper *)
+  let same_nets s =
+    Instance.size s.inst = Instance.size inst
+    && Array.for_all
+         (fun i -> Instance.net_id s.inst i = Instance.net_id inst i)
+         (Array.init (Instance.size inst) (fun i -> i))
+  in
+  let layout =
+    match find t key with
+    | Some s when same_nets s -> Solver.repair ~params:t.keff inst s.layout
+    | Some _ | None -> Solver.min_area ~params:t.keff rng inst
+  in
+  soln_of_layout ~keff:t.keff inst layout
+
+let apply_shields usage t =
+  Hashtbl.iter
+    (fun (r, d) s -> Usage.set_shields usage r d (Layout.num_shields s.layout))
+    t.table
+
+let iter t f = Hashtbl.iter f t.table
+
+let regions_of_net t net =
+  Option.value (Hashtbl.find_opt t.net_regions net) ~default:[]

@@ -1,0 +1,63 @@
+(** Phase II: solve SINO (or plain net ordering for the ID+NO baseline)
+    inside every routing region and direction, under the partitioned Kth
+    bounds.  The result stores, per (region, direction), the instance, its
+    layout, and each net's achieved coupling K_i^j — the ingredients of the
+    LSK sum and of Phase III's refinements. *)
+
+type key = int * Eda_grid.Dir.t
+
+type soln = {
+  inst : Eda_sino.Instance.t;
+  layout : Eda_sino.Layout.t;
+  k : (int, float) Hashtbl.t;  (** global net id → K_i in this region *)
+}
+
+type t
+
+type mode = Order_only | Min_area
+
+(** [solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed ()]
+    builds and solves every non-empty region instance.  [kth net] supplies
+    the per-net bound from Phase I budgeting. *)
+val solve :
+  grid:Eda_grid.Grid.t ->
+  netlist:Eda_netlist.Netlist.t ->
+  routes:Eda_grid.Route.t array ->
+  kth:(int -> float) ->
+  sensitivity:Eda_netlist.Sensitivity.t ->
+  keff:Eda_sino.Keff.params ->
+  mode:mode ->
+  seed:int ->
+  unit ->
+  t
+
+val grid : t -> Eda_grid.Grid.t
+val keff : t -> Eda_sino.Keff.params
+
+(** [find t key] — the solved region, if any net crosses it. *)
+val find : t -> key -> soln option
+
+(** [k_of t ~net key] — K of [net] in that region, 0. if the net does not
+    cross it. *)
+val k_of : t -> net:int -> key -> float
+
+(** [shields t key] — shield tracks used there. *)
+val shields : t -> key -> int
+
+val total_shields : t -> int
+
+(** [replace t key soln] — Phase III substitutes refined solutions. *)
+val replace : t -> key -> soln -> unit
+
+(** [resolve t key inst rng] — re-run min-area SINO on a (possibly
+    re-bounded) instance and build the [soln] record. *)
+val resolve : t -> key -> Eda_sino.Instance.t -> Eda_util.Rng.t -> soln
+
+(** [apply_shields u t] — write every region's shield count into the
+    usage accounting (for congestion and area metrics). *)
+val apply_shields : Eda_grid.Usage.t -> t -> unit
+
+val iter : t -> (key -> soln -> unit) -> unit
+
+(** Keys of the regions a net crosses, from the stored membership. *)
+val regions_of_net : t -> int -> key list

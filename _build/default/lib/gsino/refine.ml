@@ -1,0 +1,259 @@
+module Grid = Eda_grid.Grid
+module Route = Eda_grid.Route
+module Dir = Eda_grid.Dir
+module Usage = Eda_grid.Usage
+module Net = Eda_netlist.Net
+module Netlist = Eda_netlist.Netlist
+module Instance = Eda_sino.Instance
+module Layout = Eda_sino.Layout
+module Rng = Eda_util.Rng
+
+type stats = {
+  pass1_nets_fixed : int;
+  pass1_resolves : int;
+  pass2_shields_removed : int;
+  pass2_resolves : int;
+  residual_violations : int;
+}
+
+let local_index inst net =
+  let rec find i =
+    if i >= Instance.size inst then None
+    else if Instance.net_id inst i = net then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let sync_shields usage key soln =
+  let r, d = key in
+  Usage.set_shields usage r d (Layout.num_shields soln.Phase2.layout)
+
+(* Length of a net's segment in a given (region, dir), µm. *)
+let segment_length ~grid ~gcell_um route (r, d) =
+  match List.assoc_opt r (Route.segments grid route d) with
+  | Some l -> l *. gcell_um
+  | None -> 0.0
+
+let net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route =
+  snd (Noise.net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net route)
+
+(* ---------------- Pass 1: eliminate violations --------------------- *)
+
+let pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
+  let gcell_um = Usage.gcell_um usage in
+  let fixes = ref 0 and resolves = ref 0 in
+  let given_up : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let continue_outer = ref true in
+  while !continue_outer do
+    let violating =
+      Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v
+      |> List.filter (fun (i, _) -> not (Hashtbl.mem given_up i))
+    in
+    match violating with
+    | [] -> continue_outer := false
+    | (i, _) :: _ ->
+        let net = netlist.Netlist.nets.(i) in
+        let route = routes.(i) in
+        let lsk_budget = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
+        let n_keys = List.length (Phase2.regions_of_net phase2 i) in
+        let inner_guard = ref (4 * max 10 n_keys) in
+        let fixed = ref false and exhausted = ref false in
+        while (not !fixed) && (not !exhausted) && !inner_guard > 0 do
+          decr inner_guard;
+          (* least congested region on the net's route whose bound for
+             this net still has room to tighten.  The Kth reduction is
+             sized from the net's remaining LSK excess (the continuous
+             counterpart of the paper's one-shield-at-a-time Formula-(3)
+             step; see DESIGN.md). *)
+          let sink, lsk_now, _ =
+            Noise.worst_sink ~grid ~gcell_um ~phase2 ~lsk_model ~net route
+          in
+          let excess = lsk_now -. lsk_budget in
+          if excess <= 0.0 then fixed := true
+          else begin
+            (* only the regions on the path to the worst sink contribute
+               to its LSK; tightening elsewhere cannot help *)
+            let keys =
+              Route.path_edges grid route ~source:net.Net.source ~sink
+              |> List.concat_map (fun e ->
+                     let d = Grid.edge_dir grid e in
+                     let a, b = Grid.edge_ends grid e in
+                     [ (Grid.region_id grid a, d); (Grid.region_id grid b, d) ])
+              |> List.sort_uniq compare
+              |> List.sort (fun (ra, da) (rb, db) ->
+                     compare (Usage.utilization usage ra da) (Usage.utilization usage rb db))
+            in
+            let rec try_keys = function
+              | [] -> exhausted := true
+              | key :: rest -> (
+                  match Phase2.find phase2 key with
+                  | None -> try_keys rest
+                  | Some soln -> (
+                      match local_index soln.Phase2.inst i with
+                      | None -> try_keys rest
+                      | Some li ->
+                          let k_now =
+                            Layout.k_of soln.Phase2.layout (Phase2.keff phase2) li
+                          in
+                          let len = segment_length ~grid ~gcell_um routes.(i) key in
+                          if len <= 0.0 || k_now < 0.025 then try_keys rest
+                          else begin
+                            (* reduce by what the net still needs, but at
+                               most one shield's worth per step (a shield
+                               damps residual coupling by shield_block) *)
+                            let dk = 1.15 *. excess /. len in
+                            let one_shield =
+                              k_now *. (1.0 -. (Phase2.keff phase2).Eda_sino.Keff.shield_block)
+                            in
+                            let target =
+                              Float.max 0.02 (k_now -. Float.min dk one_shield)
+                            in
+                            let inst' = Instance.with_kth soln.Phase2.inst li target in
+                            let soln' = Phase2.resolve phase2 key inst' (Rng.split rng) in
+                            incr resolves;
+                            Phase2.replace phase2 key soln';
+                            sync_shields usage key soln';
+                            if
+                              net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route
+                              <= bound_v +. 1e-12
+                            then fixed := true
+                          end))
+            in
+            try_keys keys
+          end
+        done;
+        if net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route <= bound_v +. 1e-12
+        then incr fixes
+        else Hashtbl.replace given_up i ()
+  done;
+  (!fixes, !resolves)
+
+(* ---------------- Pass 2: reduce congestion ------------------------ *)
+
+let pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
+  let gcell_um = Usage.gcell_um usage in
+  let removed = ref 0 and resolves = ref 0 in
+  let lsk_budget = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
+  let attempted : (Phase2.key, unit) Hashtbl.t = Hashtbl.create 64 in
+  let keys_by_congestion () =
+    let acc = ref [] in
+    Phase2.iter phase2 (fun key soln ->
+        if Layout.num_shields soln.Phase2.layout > 0 && not (Hashtbl.mem attempted key)
+        then acc := key :: !acc);
+    List.sort
+      (fun (ra, da) (rb, db) ->
+        compare (Usage.utilization usage rb db) (Usage.utilization usage ra da))
+      !acc
+  in
+  let n_keys = ref 0 in
+  Phase2.iter phase2 (fun _ _ -> incr n_keys);
+  let resolve_budget = 25 * max 1 !n_keys in
+  let progress = ref true in
+  while !progress && !resolves < resolve_budget do
+    progress := false;
+    match keys_by_congestion () with
+    | [] -> ()
+    | key :: _ -> (
+        Hashtbl.replace attempted key ();
+        match Phase2.find phase2 key with
+        | None -> ()
+        | Some soln ->
+            let inst = soln.Phase2.inst in
+            let n = Instance.size inst in
+            (* per-net LSK slack, converted into a K allowance here *)
+            let slack li =
+              let gid = Instance.net_id inst li in
+              let net = netlist.Netlist.nets.(gid) in
+              let lsk_worst, _ =
+                Noise.net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net
+                  routes.(gid)
+              in
+              let len = segment_length ~grid ~gcell_um routes.(gid) key in
+              if len <= 0.0 then 0.0
+              else Float.max 0.0 ((lsk_budget -. lsk_worst) /. len)
+            in
+            let order =
+              List.sort
+                (fun (_, a) (_, b) -> compare b a)
+                (List.init n (fun li -> (li, slack li)))
+            in
+            let shields_before = Layout.num_shields soln.Phase2.layout in
+            (* relax bounds cumulatively, largest slack first, re-running
+               SINO after each grant until a shield disappears *)
+            let rec relax inst_cur = function
+              | [] -> None
+              | (li, s) :: rest ->
+                  if s <= 1e-9 then None
+                  else begin
+                    let k_now =
+                      Layout.k_of soln.Phase2.layout (Phase2.keff phase2) li
+                    in
+                    let new_kth =
+                      Float.max (Instance.kth inst_cur li) (k_now +. (0.9 *. s))
+                    in
+                    let inst' = Instance.with_kth inst_cur li new_kth in
+                    let soln' = Phase2.resolve phase2 key inst' (Rng.split rng) in
+                    incr resolves;
+                    if Layout.num_shields soln'.Phase2.layout < shields_before then
+                      Some (inst', soln')
+                    else relax inst' rest
+                  end
+            in
+            (match relax inst order with
+            | None -> ()
+            | Some (_, soln') ->
+                (* accept only if no net in this region starts violating *)
+                let old = soln in
+                Phase2.replace phase2 key soln';
+                sync_shields usage key soln';
+                let ok =
+                  List.for_all
+                    (fun li ->
+                      let gid = Instance.net_id inst li in
+                      net_noise ~grid ~gcell_um ~phase2 ~lsk_model
+                        netlist.Netlist.nets.(gid) routes.(gid)
+                      <= bound_v +. 1e-12)
+                    (List.init n (fun li -> li))
+                in
+                if ok then begin
+                  removed :=
+                    !removed
+                    + (shields_before - Layout.num_shields soln'.Phase2.layout);
+                  progress := true;
+                  Hashtbl.remove attempted key
+                end
+                else begin
+                  Phase2.replace phase2 key old;
+                  sync_shields usage key old
+                end);
+            (* even without an accept, other regions may still improve *)
+            if keys_by_congestion () <> [] then progress := true)
+  done;
+  (!removed, !resolves)
+
+let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~seed =
+  let rng = Rng.create seed in
+  let gcell_um = Usage.gcell_um usage in
+  let p1_fixed, p1_res =
+    pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng
+  in
+  let p2_removed, p2_res =
+    pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng
+  in
+  let residual =
+    List.length
+      (Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v)
+  in
+  {
+    pass1_nets_fixed = p1_fixed;
+    pass1_resolves = p1_res;
+    pass2_shields_removed = p2_removed;
+    pass2_resolves = p2_res;
+    residual_violations = residual;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "phase3: pass1 fixed %d nets (%d SINO re-runs); pass2 removed %d shields (%d re-runs); residual violations %d"
+    s.pass1_nets_fixed s.pass1_resolves s.pass2_shields_removed s.pass2_resolves
+    s.residual_violations

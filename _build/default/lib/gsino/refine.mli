@@ -1,0 +1,37 @@
+(** Phase III: two passes of greedy iterative local refinement (Figure 2).
+
+    Pass 1 — eliminate crosstalk violations.  Budgeting used Manhattan
+    distances; detours make the realized LSK exceed the budget for a few
+    nets.  For the worst-violating net, repeatedly pick the least congested
+    region on its route, tighten the net's Kth there (trading one more
+    shield's worth of coupling, per Formula (3)'s reading), and re-run
+    SINO in that region, until the net meets its noise bound.
+
+    Pass 2 — reduce routing congestion.  In the most congested region,
+    grant nets their remaining LSK slack (largest slack first, one net at
+    a time) and re-run SINO; accept the new solution only if it uses fewer
+    shields and introduces no violation.
+
+    Both passes mutate the {!Phase2} store and the shield counts in the
+    usage accounting in place. *)
+
+type stats = {
+  pass1_nets_fixed : int;  (** violating nets repaired *)
+  pass1_resolves : int;  (** SINO re-runs in pass 1 *)
+  pass2_shields_removed : int;
+  pass2_resolves : int;
+  residual_violations : int;  (** should be 0 *)
+}
+
+val run :
+  grid:Eda_grid.Grid.t ->
+  netlist:Eda_netlist.Netlist.t ->
+  routes:Eda_grid.Route.t array ->
+  phase2:Phase2.t ->
+  usage:Eda_grid.Usage.t ->
+  lsk_model:Eda_lsk.Lsk.t ->
+  bound_v:float ->
+  seed:int ->
+  stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/lsk/lsk.ml: Eda_sino Eda_util Format List

@@ -1,0 +1,1 @@
+lib/lsk/lsk.mli: Eda_sino Eda_util Format

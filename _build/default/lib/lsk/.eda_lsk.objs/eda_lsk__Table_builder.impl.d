@@ -1,0 +1,1 @@
+lib/lsk/table_builder.ml: Array Eda_circuit Eda_sino Eda_util List Lsk

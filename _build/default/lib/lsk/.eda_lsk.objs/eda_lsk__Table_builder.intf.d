@@ -1,0 +1,1 @@
+lib/lsk/table_builder.mli: Eda_circuit Eda_sino Lazy Lsk

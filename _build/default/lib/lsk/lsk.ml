@@ -1,0 +1,20 @@
+module Lintable = Eda_util.Lintable
+
+type t = { table : Lintable.t; keff : Eda_sino.Keff.params }
+
+let value segments =
+  List.fold_left
+    (fun acc (l_um, k) ->
+      if l_um < 0.0 || k < 0.0 then invalid_arg "Lsk.value: negative term";
+      acc +. (l_um *. k))
+    0.0 segments
+
+let noise t ~lsk = Lintable.eval t.table lsk
+let lsk_bound t ~noise = Lintable.inverse t.table noise
+let violates t ~lsk ~bound_v = noise t ~lsk > bound_v +. 1e-12
+
+let pp fmt t =
+  Format.fprintf fmt "lsk-model(%d entries, LSK %.0f..%.0f -> %.3f..%.3fV)"
+    (Lintable.size t.table) (Lintable.x_min t.table) (Lintable.x_max t.table)
+    (Lintable.eval t.table (Lintable.x_min t.table))
+    (Lintable.eval t.table (Lintable.x_max t.table))

@@ -1,0 +1,33 @@
+(** The length-scaled Keff (LSK) model, paper §2.2.
+
+    For a routed net i,
+
+      LSK_i = Σ_j l_j · K_i^j        (Equation 1)
+
+    where K_i^j is the net's total inductive coupling inside region R_j
+    (from its SINO layout) and l_j its wire length there (µm).  A lookup
+    table built from circuit simulations then converts LSK to an RLC
+    crosstalk noise voltage; the inverse lookup converts the noise
+    constraint into an LSK budget for Phase I. *)
+
+type t = {
+  table : Eda_util.Lintable.t;  (** LSK (µm·K) → noise (V), non-decreasing *)
+  keff : Eda_sino.Keff.params;  (** Keff parameters the table was built with *)
+}
+
+(** [value segments] sums [l_um · k] over [(l_um, k)] pairs (Equation 1). *)
+val value : (float * float) list -> float
+
+(** [noise t ~lsk] — predicted crosstalk voltage. *)
+val noise : t -> lsk:float -> float
+
+(** [lsk_bound t ~noise] — the largest LSK whose predicted noise stays
+    within [noise]; this is the budget uniform partitioning divides by the
+    source–sink Manhattan distance. *)
+val lsk_bound : t -> noise:float -> float
+
+(** [violates t ~lsk ~bound_v] — does the predicted noise exceed
+    [bound_v]? *)
+val violates : t -> lsk:float -> bound_v:float -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Eda_geom Eda_util Float Format Hashtbl List Net Netlist Point

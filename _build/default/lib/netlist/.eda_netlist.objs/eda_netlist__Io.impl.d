@@ -1,0 +1,1 @@
+lib/netlist/io.ml: Array Buffer Eda_geom Fun List Net Netlist Point Printf String

@@ -1,0 +1,1 @@
+lib/netlist/io.mli: Netlist

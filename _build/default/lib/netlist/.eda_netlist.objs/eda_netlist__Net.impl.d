@@ -1,0 +1,1 @@
+lib/netlist/net.ml: Array Eda_geom Format Point Rect

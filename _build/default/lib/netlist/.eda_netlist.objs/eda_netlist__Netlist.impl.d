@@ -1,0 +1,1 @@
+lib/netlist/netlist.ml: Array Eda_geom Format List Net Point Rect

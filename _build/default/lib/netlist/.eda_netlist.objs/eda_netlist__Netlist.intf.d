@@ -1,0 +1,1 @@
+lib/netlist/netlist.mli: Eda_geom Format Net

@@ -1,0 +1,1 @@
+lib/netlist/sensitivity.ml: Array Eda_util Format

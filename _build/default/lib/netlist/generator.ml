@@ -1,0 +1,113 @@
+open Eda_geom
+module Rng = Eda_util.Rng
+
+type profile = {
+  name : string;
+  chip_w_um : float;
+  chip_h_um : float;
+  n_nets : int;
+  avg_wl_um : float;
+  route_overhead : float;
+}
+
+(* Net counts are back-derived from Table 1 (violating nets / percentage);
+   chip dimensions are the ID+NO rows of Table 3; average wire lengths are
+   the ID+NO columns of Table 2. *)
+let ibm01 =
+  { name = "ibm01"; chip_w_um = 1533.; chip_h_um = 1824.; n_nets = 13062; avg_wl_um = 639.; route_overhead = 1.08 }
+
+let ibm02 =
+  { name = "ibm02"; chip_w_um = 3004.; chip_h_um = 3995.; n_nets = 19289; avg_wl_um = 724.; route_overhead = 1.33 }
+
+let ibm03 =
+  { name = "ibm03"; chip_w_um = 3178.; chip_h_um = 3852.; n_nets = 26101; avg_wl_um = 647.; route_overhead = 1.31 }
+
+let ibm04 =
+  { name = "ibm04"; chip_w_um = 3861.; chip_h_um = 3910.; n_nets = 31322; avg_wl_um = 748.; route_overhead = 1.33 }
+
+let ibm05 =
+  { name = "ibm05"; chip_w_um = 9837.; chip_h_um = 7286.; n_nets = 29646; avg_wl_um = 695.; route_overhead = 1.50 }
+
+let ibm06 =
+  { name = "ibm06"; chip_w_um = 5002.; chip_h_um = 3795.; n_nets = 34398; avg_wl_um = 769.; route_overhead = 1.43 }
+
+let all_ibm = [ ibm01; ibm02; ibm03; ibm04; ibm05; ibm06 ]
+let find_ibm name = List.find_opt (fun p -> p.name = name) all_ibm
+
+(* Signed displacement with exponential magnitude; at least |v| >= 0. *)
+let signed_exp rng ~mean =
+  let mag = int_of_float (Float.round (Rng.exponential rng ~mean)) in
+  if Rng.bool rng 0.5 then mag else -mag
+
+(* Net reach is lognormal (sigma ~1.1): the median net is much shorter
+   than the mean and a long tail of chip-crossing nets exists — the
+   length profile real placed netlists show, and the population whose
+   tail the crosstalk budget squeezes. *)
+let reach_sigma = 1.1
+
+let signed_lognormal rng ~mean =
+  let mu = log mean -. (reach_sigma *. reach_sigma /. 2.0) in
+  let mag =
+    int_of_float (Float.round (exp (Rng.gaussian rng ~mu ~sigma:reach_sigma)))
+  in
+  if Rng.bool rng 0.5 then mag else -mag
+
+let sink_count rng = min 4 (1 + Rng.geometric rng 0.65)
+
+let place_sinks rng ~grid_w ~grid_h ~source ~k ~span =
+  (* Per-sink displacement shrinks with fanout so the Steiner-tree length
+     stays near the 2-pin target; exponent tuned against Rsmt.length. *)
+  let per_axis = span /. 2.0 /. Float.of_int k ** 0.6 in
+  let lo = Point.make 0 0 and hi = Point.make (grid_w - 1) (grid_h - 1) in
+  Array.init k (fun _ ->
+      let dx = ref (signed_lognormal rng ~mean:per_axis) in
+      let dy = ref (signed_lognormal rng ~mean:per_axis) in
+      if !dx = 0 && !dy = 0 then
+        if Rng.bool rng 0.5 then dx := if Rng.bool rng 0.5 then 1 else -1
+        else dy := if Rng.bool rng 0.5 then 1 else -1;
+      Point.clamp (Point.add source (Point.make !dx !dy)) ~lo ~hi)
+
+let generate ?(gcell_um = 60.0) ?(scale = 1.0) ~seed profile =
+  if scale <= 0.0 || scale > 1.0 then invalid_arg "Generator.generate: scale in (0,1]";
+  (* The region pitch grows as the region count shrinks, so chip dimensions
+     and physical net lengths stay at their full-size µm values — the noise
+     physics and the paper's µm metrics are preserved at any scale. *)
+  let gcell_um = gcell_um /. sqrt scale in
+  let dim um = max 4 (int_of_float (Float.round (um /. gcell_um))) in
+  let grid_w = dim profile.chip_w_um and grid_h = dim profile.chip_h_um in
+  let n_nets = max 8 (int_of_float (Float.round (float_of_int profile.n_nets *. scale))) in
+  let span = profile.avg_wl_um /. profile.route_overhead /. gcell_um in
+  let rng = Rng.create (seed lxor Hashtbl.hash profile.name) in
+  let nets =
+    Array.init n_nets (fun id ->
+        let source =
+          Point.make (Rng.int rng grid_w) (Rng.int rng grid_h)
+        in
+        let k = sink_count rng in
+        let sinks = place_sinks rng ~grid_w ~grid_h ~source ~k ~span in
+        Net.make ~id ~source ~sinks)
+  in
+  let name =
+    if scale = 1.0 then profile.name
+    else Format.asprintf "%s@%.2f" profile.name scale
+  in
+  Netlist.make ~name ~grid_w ~grid_h ~gcell_um nets
+
+let uniform ~name ~grid_w ~grid_h ~n_nets ~mean_span ~seed =
+  let rng = Rng.create seed in
+  let lo = Point.make 0 0 and hi = Point.make (grid_w - 1) (grid_h - 1) in
+  let nets =
+    Array.init n_nets (fun id ->
+        let source = Point.make (Rng.int rng grid_w) (Rng.int rng grid_h) in
+        let dx = ref (signed_exp rng ~mean:(mean_span /. 2.0)) in
+        let dy = ref (signed_exp rng ~mean:(mean_span /. 2.0)) in
+        if !dx = 0 && !dy = 0 then dx := 1;
+        let sink = Point.clamp (Point.add source (Point.make !dx !dy)) ~lo ~hi in
+        let sink =
+          if Point.equal sink source then
+            Point.clamp (Point.add source (Point.make (-1) 0)) ~lo ~hi
+          else sink
+        in
+        Net.make ~id ~source ~sinks:[| sink |])
+  in
+  Netlist.make ~name ~grid_w ~grid_h ~gcell_um:60.0 nets

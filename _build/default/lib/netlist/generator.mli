@@ -1,0 +1,61 @@
+(** Synthetic benchmark generator standing in for the ISPD'98/IBM circuits
+    placed by DRAGON (see DESIGN.md §2 for the substitution rationale).
+
+    Each profile carries the published chip dimensions (Table 3, ID+NO
+    row), the signal-net count back-derived from Table 1's percentages, and
+    the ID+NO average wire length from Table 2 as the locality target.
+    [generate] reproduces those statistics at an arbitrary [scale]: net
+    count scales by [scale], chip area by [scale] (dimensions by its square
+    root), so per-region densities — and therefore the paper's percentage
+    results — are preserved. *)
+
+type profile = {
+  name : string;
+  chip_w_um : float;  (** placement width, µm (Table 3 ID+NO) *)
+  chip_h_um : float;  (** placement height, µm *)
+  n_nets : int;  (** signal nets (derived from Table 1) *)
+  avg_wl_um : float;  (** ID+NO average wire length target (Table 2) *)
+  route_overhead : float;
+      (** measured ratio of routed tree length to the generator's raw
+          pin-spread target (Steiner overhead, multi-sink fanout, and how
+          much of the lognormal tail the chip boundary clips — larger
+          chips clip less); the generator divides the spread by this so
+          the *routed* average lands on [avg_wl_um] *)
+}
+
+(** The six circuits evaluated in the paper. *)
+val ibm01 : profile
+
+val ibm02 : profile
+val ibm03 : profile
+val ibm04 : profile
+val ibm05 : profile
+val ibm06 : profile
+
+val all_ibm : profile list
+
+(** [find_ibm "ibm03"] looks a profile up by name. *)
+val find_ibm : string -> profile option
+
+(** [generate ?gcell_um ?scale ~seed profile] synthesizes a placed netlist.
+
+    - [gcell_um] (default 60.) is the routing-region pitch;
+    - [scale] (default 1.0) scales net count linearly and chip dimensions by
+      [sqrt scale]; must be in (0, 1].
+
+    Sink counts follow 1 + Geometric(0.65) capped at 4; sink displacements
+    are two-sided exponentials calibrated so the expected Steiner length
+    matches [avg_wl_um]. *)
+val generate : ?gcell_um:float -> ?scale:float -> seed:int -> profile -> Netlist.t
+
+(** [uniform ~name ~grid_w ~grid_h ~n_nets ~mean_span ~seed] is a plain
+    generator for unit tests: sources uniform, single sink at an
+    exponential displacement with mean [mean_span] gcells. *)
+val uniform :
+  name:string ->
+  grid_w:int ->
+  grid_h:int ->
+  n_nets:int ->
+  mean_span:float ->
+  seed:int ->
+  Netlist.t

@@ -1,0 +1,96 @@
+open Eda_geom
+
+let magic = "gsino-netlist v1"
+
+let to_string nl =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b magic;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (Printf.sprintf "name %s\n" nl.Netlist.name);
+  Buffer.add_string b
+    (Printf.sprintf "grid %d %d %.17g\n" nl.Netlist.grid_w nl.Netlist.grid_h
+       nl.Netlist.gcell_um);
+  Array.iter
+    (fun n ->
+      Buffer.add_string b
+        (Printf.sprintf "net %d %d %d" n.Net.id n.Net.source.Point.x
+           n.Net.source.Point.y);
+      Array.iter
+        (fun s -> Buffer.add_string b (Printf.sprintf " %d %d" s.Point.x s.Point.y))
+        n.Net.sinks;
+      Buffer.add_char b '\n')
+    nl.Netlist.nets;
+  Buffer.contents b
+
+let fail lineno msg = failwith (Printf.sprintf "Io.of_string: line %d: %s" lineno msg)
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let content =
+    List.mapi (fun idx raw -> (idx + 1, String.trim raw)) lines
+    |> List.filter (fun (_, l) -> l <> "" && l.[0] <> '#')
+  in
+  (match content with
+  | (_, first) :: _ when first = magic -> ()
+  | (lineno, _) :: _ -> fail lineno "missing magic header"
+  | [] -> failwith "Io.of_string: empty input");
+  let name = ref None and dims = ref None in
+  let nets = ref [] in
+  let parse_int lineno what s =
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail lineno ("bad " ^ what ^ ": " ^ s)
+  in
+  List.iter
+    (fun (lineno, line) ->
+      if line <> magic then
+        match String.split_on_char ' ' line |> List.filter (fun t -> t <> "") with
+        | "name" :: rest -> name := Some (String.concat " " rest)
+        | [ "grid"; w; h; g ] -> (
+            match float_of_string_opt g with
+            | Some gc ->
+                dims :=
+                  Some (parse_int lineno "grid width" w, parse_int lineno "grid height" h, gc)
+            | None -> fail lineno "bad grid record")
+        | "net" :: id :: sx :: sy :: sinks ->
+            let id = parse_int lineno "net id" id in
+            let source =
+              Point.make (parse_int lineno "x" sx) (parse_int lineno "y" sy)
+            in
+            let rec pair acc = function
+              | [] -> List.rev acc
+              | x :: y :: rest ->
+                  pair
+                    (Point.make (parse_int lineno "x" x) (parse_int lineno "y" y) :: acc)
+                    rest
+              | [ _ ] -> fail lineno "odd number of sink coordinates"
+            in
+            let sinks = Array.of_list (pair [] sinks) in
+            if Array.length sinks = 0 then fail lineno "net without sinks";
+            nets := Net.make ~id ~source ~sinks :: !nets
+        | _ -> fail lineno ("unrecognized record: " ^ line))
+    content;
+  match (!name, !dims) with
+  | None, _ -> failwith "Io.of_string: missing name record"
+  | _, None -> failwith "Io.of_string: missing grid record"
+  | Some name, Some (grid_w, grid_h, gcell_um) ->
+      let nets =
+        List.sort (fun a b -> compare a.Net.id b.Net.id) !nets |> Array.of_list
+      in
+      let nl = Netlist.make ~name ~grid_w ~grid_h ~gcell_um nets in
+      Netlist.validate nl;
+      nl
+
+let save path nl =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string nl))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

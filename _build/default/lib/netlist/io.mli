@@ -1,0 +1,26 @@
+(** Plain-text netlist serialization, so externally produced placements
+    can run through the flows and generated benchmarks can be archived.
+
+    Format (one record per line, [#] comments ignored):
+
+    {v
+    gsino-netlist v1
+    name <string>
+    grid <w> <h> <gcell_um>
+    net <id> <src_x> <src_y> <sink_x> <sink_y> [<sink_x> <sink_y> ...]
+    v}
+
+    Net ids must be consecutive from 0 and pins inside the grid
+    (checked on load with {!Netlist.validate}). *)
+
+(** [to_string nl] / [of_string s] — serialization round-trip. *)
+val to_string : Netlist.t -> string
+
+(** [of_string s] raises [Failure] with a line-numbered message on
+    malformed input. *)
+val of_string : string -> Netlist.t
+
+(** [save path nl] / [load path] — file convenience wrappers. *)
+val save : string -> Netlist.t -> unit
+
+val load : string -> Netlist.t

@@ -1,0 +1,43 @@
+open Eda_geom
+
+type t = {
+  name : string;
+  grid_w : int;
+  grid_h : int;
+  gcell_um : float;
+  nets : Net.t array;
+}
+
+let make ~name ~grid_w ~grid_h ~gcell_um nets =
+  if grid_w <= 0 || grid_h <= 0 then invalid_arg "Netlist.make: empty grid";
+  if gcell_um <= 0.0 then invalid_arg "Netlist.make: non-positive gcell";
+  { name; grid_w; grid_h; gcell_um; nets }
+
+let num_nets t = Array.length t.nets
+let bounds t = Rect.make 0 0 (t.grid_w - 1) (t.grid_h - 1)
+
+let total_hpwl_um t =
+  Array.fold_left
+    (fun acc n -> acc +. (float_of_int (Net.hpwl n) *. t.gcell_um))
+    0.0 t.nets
+
+let mean_hpwl_um t =
+  if num_nets t = 0 then 0.0 else total_hpwl_um t /. float_of_int (num_nets t)
+
+let validate t =
+  let b = bounds t in
+  Array.iteri
+    (fun i n ->
+      if n.Net.id <> i then invalid_arg "Netlist.validate: id/index mismatch";
+      List.iter
+        (fun p ->
+          if not (Rect.contains b p) then
+            invalid_arg
+              (Format.asprintf "Netlist.validate: pin %a of net %d off-grid"
+                 Point.pp p i))
+        (Net.pins n))
+    t.nets
+
+let pp_summary fmt t =
+  Format.fprintf fmt "%s: %dx%d regions @ %.0fum, %d nets, mean HPWL %.0fum"
+    t.name t.grid_w t.grid_h t.gcell_um (num_nets t) (mean_hpwl_um t)

@@ -1,0 +1,30 @@
+(** A placed design at global-routing abstraction: a routing-region grid
+    plus signal nets with pins assigned to regions. *)
+
+type t = {
+  name : string;
+  grid_w : int;  (** number of region columns *)
+  grid_h : int;  (** number of region rows *)
+  gcell_um : float;  (** nominal region pitch in micrometres *)
+  nets : Net.t array;
+}
+
+val make :
+  name:string -> grid_w:int -> grid_h:int -> gcell_um:float -> Net.t array -> t
+
+val num_nets : t -> int
+
+(** Grid extent as a rectangle of region indices. *)
+val bounds : t -> Eda_geom.Rect.t
+
+(** [total_hpwl_um t] is the summed half-perimeter lower bound in µm. *)
+val total_hpwl_um : t -> float
+
+(** [mean_hpwl_um t] averaged over nets. *)
+val mean_hpwl_um : t -> float
+
+(** [validate t] raises [Invalid_argument] if any pin lies outside the grid
+    or any net id mismatches its index. *)
+val validate : t -> unit
+
+val pp_summary : Format.formatter -> t -> unit

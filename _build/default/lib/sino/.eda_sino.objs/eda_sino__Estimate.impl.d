@@ -1,0 +1,1 @@
+lib/sino/estimate.ml: Array Eda_util Float Format Instance Keff List Solver

@@ -1,0 +1,1 @@
+lib/sino/estimate.mli: Eda_util Format Keff Lazy

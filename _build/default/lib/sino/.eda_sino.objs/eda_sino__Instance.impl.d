@@ -1,0 +1,1 @@
+lib/sino/instance.ml: Array Format

@@ -1,0 +1,1 @@
+lib/sino/keff.ml:

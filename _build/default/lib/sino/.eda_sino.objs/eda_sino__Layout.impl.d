@@ -1,0 +1,1 @@
+lib/sino/layout.ml: Array Format Instance Keff Printf

@@ -1,0 +1,1 @@
+lib/sino/layout.mli: Format Instance Keff

@@ -1,0 +1,1 @@
+lib/sino/solver.ml: Array Eda_util Instance Keff Layout List Option

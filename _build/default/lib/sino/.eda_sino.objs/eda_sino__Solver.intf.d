@@ -1,0 +1,1 @@
+lib/sino/solver.mli: Eda_util Instance Keff Layout

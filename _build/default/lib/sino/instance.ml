@@ -1,0 +1,50 @@
+type t = { nets : int array; kth : float array; sens : bool array array }
+
+let make ~nets ~kth ~sensitive =
+  let n = Array.length nets in
+  if Array.length kth <> n then invalid_arg "Instance.make: kth length mismatch";
+  let sens =
+    Array.init n (fun i ->
+        Array.init n (fun j -> i <> j && sensitive nets.(i) nets.(j)))
+  in
+  (* enforce symmetry defensively: model sensitivity is mutual (§2.1) *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let v = sens.(i).(j) || sens.(j).(i) in
+      sens.(i).(j) <- v;
+      sens.(j).(i) <- v
+    done
+  done;
+  { nets; kth; sens }
+
+let size t = Array.length t.nets
+
+let net_id t i = t.nets.(i)
+let kth t i = t.kth.(i)
+
+let with_kth t i v =
+  if v <= 0.0 then invalid_arg "Instance.with_kth: bound must be positive";
+  let kth = Array.copy t.kth in
+  kth.(i) <- v;
+  { t with kth }
+
+let sens t i j = t.sens.(i).(j)
+
+let sensitivity t i =
+  let n = size t in
+  if n <= 1 then 0.0
+  else begin
+    let cnt = ref 0 in
+    for j = 0 to n - 1 do
+      if t.sens.(i).(j) then incr cnt
+    done;
+    float_of_int !cnt /. float_of_int (n - 1)
+  end
+
+let sensitivities t = Array.init (size t) (sensitivity t)
+
+let pp fmt t =
+  Format.fprintf fmt "sino-instance(%d nets, mean S=%.2f)" (size t)
+    (if size t = 0 then 0.0
+     else
+       Array.fold_left ( +. ) 0.0 (sensitivities t) /. float_of_int (size t))

@@ -1,0 +1,37 @@
+(** A SINO problem instance: the net segments sharing one routing region
+    and direction, their pairwise sensitivities, and the inductive bound
+    [Kth] each segment must satisfy (paper Formulation 1, restricted to a
+    region — the sub-problem Phase II solves). *)
+
+type t
+
+(** [make ~nets ~kth ~sensitive] — [nets] are global net ids, [kth.(i)] is
+    the bound of [nets.(i)], and [sensitive gi gj] is the global
+    sensitivity predicate (its restriction to the instance is precomputed
+    and symmetrized). *)
+val make : nets:int array -> kth:float array -> sensitive:(int -> int -> bool) -> t
+
+(** Number of net segments. *)
+val size : t -> int
+
+(** Global id of local net [i]. *)
+val net_id : t -> int -> int
+
+(** [kth t i] — the local net's coupling bound. *)
+val kth : t -> int -> float
+
+(** [with_kth t i v] — functional update of one bound (Phase III tightens
+    and relaxes bounds region-locally). *)
+val with_kth : t -> int -> float -> t
+
+(** [sens t i j] — local sensitivity, [false] on the diagonal. *)
+val sens : t -> int -> int -> bool
+
+(** [sensitivity t i] — the paper's S_i: the fraction of the other
+    segments in the region sensitive to [i] (0 when alone). *)
+val sensitivity : t -> int -> float
+
+(** [sensitivities t] — all S_i. *)
+val sensitivities : t -> float array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,52 @@
+(** Heuristic solvers for the per-region problems:
+
+    - {!order_only} is the NO baseline (used by ID+NO): permute the nets on
+      the existing tracks to remove as much capacitive coupling (adjacent
+      sensitive pairs) as possible — no shields, inductive bounds ignored.
+    - {!min_area} is the min-area SINO heuristic (Phase II of GSINO and the
+      per-region step of iSINO): find an ordering plus shield insertion
+      that is capacitive-crosstalk free and meets every K_i ≤ Kth_i, with
+      as few shields as possible.  SINO is NP-hard [4]; this is a greedy
+      construct-then-repair heuristic with a shield-removal clean-up
+      pass. *)
+
+(** [order_only rng inst] — greedy ordering plus adjacent-swap improvement.
+    The layout has exactly [size inst] tracks and no shields. *)
+val order_only : Eda_util.Rng.t -> Instance.t -> Layout.t
+
+(** [min_area ?params ?max_passes rng inst] — feasible layout unless the
+    instance is pathologically tight, in which case the best effort is
+    returned (check {!Layout.feasible}).  [max_passes] bounds the repair
+    loop (default 6 · size). *)
+val min_area :
+  ?params:Keff.params -> ?max_passes:int -> Eda_util.Rng.t -> Instance.t -> Layout.t
+
+(** [repair ?params ?max_passes inst layout] — re-establish feasibility for
+    an instance whose bounds changed (Phase III tightens/relaxes one net at
+    a time), starting from the existing layout: keep the net ordering,
+    add shields where bounds are now violated, then drop shields the new
+    bounds no longer need.  Much cheaper than {!min_area} from scratch and
+    minimally disturbs the other nets' couplings.  [layout] must belong to
+    an instance with the same nets in the same order. *)
+val repair :
+  ?params:Keff.params -> ?max_passes:int -> Instance.t -> Layout.t -> Layout.t
+
+(** [anneal ?params ?moves ?t0 rng inst layout] — simulated-annealing
+    improvement of a feasible layout: random adjacent swaps, shield
+    removals and shield moves, accepted by the Metropolis rule on the cost
+    [#shields + big · violations].  SINO is NP-hard; this quantifies how
+    far the greedy {!min_area} heuristic is from a slower, stronger
+    optimizer (the bench's solver ablation).  Returns a layout no worse
+    than the input. *)
+val anneal :
+  ?params:Keff.params ->
+  ?moves:int ->
+  ?t0:float ->
+  Eda_util.Rng.t ->
+  Instance.t ->
+  Layout.t ->
+  Layout.t
+
+(** [shields_needed ?params rng inst] = number of shields in the
+    {!min_area} solution — the quantity Formula (3) estimates. *)
+val shields_needed : ?params:Keff.params -> Eda_util.Rng.t -> Instance.t -> int

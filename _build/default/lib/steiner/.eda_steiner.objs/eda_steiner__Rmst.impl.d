@@ -1,0 +1,1 @@
+lib/steiner/rmst.ml: Array Eda_geom List Point

@@ -1,0 +1,1 @@
+lib/steiner/rmst.mli: Eda_geom

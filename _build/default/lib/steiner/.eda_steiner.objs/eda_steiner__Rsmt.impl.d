@@ -1,0 +1,1 @@
+lib/steiner/rsmt.ml: Array Eda_geom Hashtbl List Point Rmst

@@ -1,0 +1,1 @@
+lib/steiner/rsmt.mli: Eda_geom

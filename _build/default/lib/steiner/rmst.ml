@@ -1,0 +1,42 @@
+open Eda_geom
+
+let tree pts =
+  let n = Array.length pts in
+  if n < 2 then []
+  else begin
+    let in_tree = Array.make n false in
+    let dist = Array.make n max_int in
+    let parent = Array.make n (-1) in
+    in_tree.(0) <- true;
+    for j = 1 to n - 1 do
+      dist.(j) <- Point.manhattan pts.(0) pts.(j);
+      parent.(j) <- 0
+    done;
+    let edges = ref [] in
+    for _ = 1 to n - 1 do
+      (* pick the closest out-of-tree vertex *)
+      let best = ref (-1) in
+      for j = 0 to n - 1 do
+        if (not in_tree.(j)) && (!best = -1 || dist.(j) < dist.(!best)) then
+          best := j
+      done;
+      let b = !best in
+      in_tree.(b) <- true;
+      edges := (parent.(b), b) :: !edges;
+      for j = 0 to n - 1 do
+        if not in_tree.(j) then begin
+          let d = Point.manhattan pts.(b) pts.(j) in
+          if d < dist.(j) then begin
+            dist.(j) <- d;
+            parent.(j) <- b
+          end
+        end
+      done
+    done;
+    !edges
+  end
+
+let length pts =
+  List.fold_left
+    (fun acc (i, j) -> acc + Point.manhattan pts.(i) pts.(j))
+    0 (tree pts)

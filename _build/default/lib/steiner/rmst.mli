@@ -1,0 +1,10 @@
+(** Rectilinear minimum spanning tree over pin locations (Prim, O(k²)) —
+    the building block for the RSMT estimate used by the ID router's
+    normalized wire-length term. *)
+
+(** [tree pts] is the MST edge list as index pairs into [pts].
+    Empty for fewer than 2 points. *)
+val tree : Eda_geom.Point.t array -> (int * int) list
+
+(** [length pts] is the MST total Manhattan length. *)
+val length : Eda_geom.Point.t array -> int

@@ -1,0 +1,1 @@
+lib/util/lintable.ml: Array Format List

@@ -1,0 +1,102 @@
+type t = { xs : float array; ys : float array }
+
+let of_points pts =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pts in
+  (* merge duplicate abscissae by averaging *)
+  let rec merge acc = function
+    | [] -> List.rev acc
+    | (x, y) :: rest ->
+        let same, rest' = List.partition (fun (x', _) -> x' = x) rest in
+        let ys = y :: List.map snd same in
+        let avg = List.fold_left ( +. ) 0.0 ys /. float_of_int (List.length ys) in
+        merge ((x, avg) :: acc) rest'
+  in
+  let merged = merge [] sorted in
+  if List.length merged < 2 then
+    invalid_arg "Lintable.of_points: need at least 2 distinct abscissae";
+  let xs = Array.of_list (List.map fst merged) in
+  let ys = Array.of_list (List.map snd merged) in
+  { xs; ys }
+
+let size t = Array.length t.xs
+let x_min t = t.xs.(0)
+let x_max t = t.xs.(size t - 1)
+let entries t = Array.init (size t) (fun i -> (t.xs.(i), t.ys.(i)))
+
+let isotonic t =
+  (* Pool-adjacent-violators for a non-decreasing fit, uniform weights. *)
+  let n = size t in
+  let level = Array.copy t.ys in
+  let weight = Array.make n 1.0 in
+  let len = ref 0 in
+  (* blocks stored compacted in level.(0 .. !len-1) with sizes in weight *)
+  for i = 0 to n - 1 do
+    level.(!len) <- t.ys.(i);
+    weight.(!len) <- 1.0;
+    incr len;
+    while !len > 1 && level.(!len - 2) > level.(!len - 1) do
+      let w = weight.(!len - 2) +. weight.(!len - 1) in
+      let v =
+        ((level.(!len - 2) *. weight.(!len - 2))
+        +. (level.(!len - 1) *. weight.(!len - 1)))
+        /. w
+      in
+      level.(!len - 2) <- v;
+      weight.(!len - 2) <- w;
+      decr len
+    done
+  done;
+  let ys = Array.make n 0.0 in
+  let idx = ref 0 in
+  for b = 0 to !len - 1 do
+    let cnt = int_of_float weight.(b) in
+    for _ = 1 to cnt do
+      ys.(!idx) <- level.(b);
+      incr idx
+    done
+  done;
+  { xs = Array.copy t.xs; ys }
+
+let eval t x =
+  let n = size t in
+  if x <= t.xs.(0) then t.ys.(0)
+  else if x >= t.xs.(n - 1) then t.ys.(n - 1)
+  else begin
+    (* binary search for the bracketing segment *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if t.xs.(mid) <= x then lo := mid else hi := mid
+    done;
+    let x0 = t.xs.(!lo) and x1 = t.xs.(!hi) in
+    let y0 = t.ys.(!lo) and y1 = t.ys.(!hi) in
+    y0 +. ((x -. x0) /. (x1 -. x0) *. (y1 -. y0))
+  end
+
+let resample t n =
+  if n < 2 then invalid_arg "Lintable.resample: need n >= 2";
+  let lo = x_min t and hi = x_max t in
+  let xs =
+    Array.init n (fun i ->
+        lo +. (float_of_int i /. float_of_int (n - 1) *. (hi -. lo)))
+  in
+  { xs; ys = Array.map (eval t) xs }
+
+let inverse t y =
+  let n = size t in
+  if y <= t.ys.(0) then t.xs.(0)
+  else if y >= t.ys.(n - 1) then t.xs.(n - 1)
+  else begin
+    let i = ref 0 in
+    while t.ys.(!i + 1) < y do
+      incr i
+    done;
+    let y0 = t.ys.(!i) and y1 = t.ys.(!i + 1) in
+    let x0 = t.xs.(!i) and x1 = t.xs.(!i + 1) in
+    if y1 = y0 then x0 else x0 +. ((y -. y0) /. (y1 -. y0) *. (x1 -. x0))
+  end
+
+let pp fmt t =
+  Array.iteri
+    (fun i x -> Format.fprintf fmt "%g\t%g@\n" x t.ys.(i))
+    t.xs

@@ -1,0 +1,44 @@
+(** Monotone piecewise-linear lookup tables.
+
+    The LSK model maps an LSK value to a crosstalk voltage through a table
+    built from circuit simulations (paper §2.2: 100 entries covering
+    0.10–0.20 V).  This module provides construction from noisy samples
+    (with isotonic smoothing), forward evaluation, and inverse lookup. *)
+
+type t
+
+(** [of_points pts] builds a table from [(x, y)] samples.  Points are sorted
+    by [x]; duplicate [x] values are averaged.  Raises [Invalid_argument] on
+    fewer than 2 distinct abscissae. *)
+val of_points : (float * float) list -> t
+
+(** [isotonic t] returns a copy whose [y] values are replaced by their
+    non-decreasing isotonic regression (pool-adjacent-violators), so that
+    the inverse lookup is well defined even for noisy simulation data. *)
+val isotonic : t -> t
+
+(** [resample t n] re-tabulates to [n] equally spaced abscissae spanning the
+    original range. *)
+val resample : t -> int -> t
+
+(** [eval t x] evaluates with linear interpolation, clamping outside the
+    tabulated range. *)
+val eval : t -> float -> float
+
+(** [inverse t y] finds the smallest [x] with [eval t x >= y] by linear
+    interpolation; clamps to the table range.  Requires a non-decreasing
+    table (apply {!isotonic} first if unsure). *)
+val inverse : t -> float -> float
+
+(** Tabulated abscissa range. *)
+val x_min : t -> float
+
+val x_max : t -> float
+
+(** Number of entries. *)
+val size : t -> int
+
+(** Raw entries, ascending in [x]. *)
+val entries : t -> (float * float) array
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,181 @@
+type t = { r : int; c : int; d : float array }
+
+let create r c =
+  if r <= 0 || c <= 0 then invalid_arg "Matrix.create: non-positive dims";
+  { r; c; d = Array.make (r * c) 0.0 }
+
+let rows m = m.r
+let cols m = m.c
+
+let get m i j =
+  if i < 0 || i >= m.r || j < 0 || j >= m.c then
+    invalid_arg "Matrix.get: index out of bounds";
+  m.d.((i * m.c) + j)
+
+let set m i j v =
+  if i < 0 || i >= m.r || j < 0 || j >= m.c then
+    invalid_arg "Matrix.set: index out of bounds";
+  m.d.((i * m.c) + j) <- v
+
+let add_to m i j v = set m i j (get m i j +. v)
+
+let of_rows a =
+  let r = Array.length a in
+  if r = 0 then invalid_arg "Matrix.of_rows: no rows";
+  let c = Array.length a.(0) in
+  let m = create r c in
+  Array.iteri
+    (fun i row ->
+      if Array.length row <> c then invalid_arg "Matrix.of_rows: ragged rows";
+      Array.iteri (fun j v -> set m i j v) row)
+    a;
+  m
+
+let identity n =
+  let m = create n n in
+  for i = 0 to n - 1 do
+    set m i i 1.0
+  done;
+  m
+
+let copy m = { m with d = Array.copy m.d }
+
+let transpose m =
+  let t = create m.c m.r in
+  for i = 0 to m.r - 1 do
+    for j = 0 to m.c - 1 do
+      set t j i (get m i j)
+    done
+  done;
+  t
+
+let mul a b =
+  if a.c <> b.r then invalid_arg "Matrix.mul: dimension mismatch";
+  let p = create a.r b.c in
+  for i = 0 to a.r - 1 do
+    for k = 0 to a.c - 1 do
+      let aik = get a i k in
+      if aik <> 0.0 then
+        for j = 0 to b.c - 1 do
+          p.d.((i * p.c) + j) <- p.d.((i * p.c) + j) +. (aik *. get b k j)
+        done
+    done
+  done;
+  p
+
+let mulv a x =
+  if a.c <> Array.length x then invalid_arg "Matrix.mulv: dimension mismatch";
+  Array.init a.r (fun i ->
+      let s = ref 0.0 in
+      for j = 0 to a.c - 1 do
+        s := !s +. (a.d.((i * a.c) + j) *. x.(j))
+      done;
+      !s)
+
+type lu = { n : int; f : float array; perm : int array }
+
+let lu_factor a =
+  if a.r <> a.c then invalid_arg "Matrix.lu_factor: not square";
+  let n = a.r in
+  let f = Array.copy a.d in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* partial pivot *)
+    let piv = ref k and best = ref (Float.abs f.((k * n) + k)) in
+    for i = k + 1 to n - 1 do
+      let v = Float.abs f.((i * n) + k) in
+      if v > !best then begin
+        best := v;
+        piv := i
+      end
+    done;
+    if !best < 1e-13 then failwith "Matrix.lu_factor: singular matrix";
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let tmp = f.((k * n) + j) in
+        f.((k * n) + j) <- f.((!piv * n) + j);
+        f.((!piv * n) + j) <- tmp
+      done;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tp
+    end;
+    let pivot = f.((k * n) + k) in
+    for i = k + 1 to n - 1 do
+      let l = f.((i * n) + k) /. pivot in
+      f.((i * n) + k) <- l;
+      if l <> 0.0 then
+        for j = k + 1 to n - 1 do
+          f.((i * n) + j) <- f.((i * n) + j) -. (l *. f.((k * n) + j))
+        done
+    done
+  done;
+  { n; f; perm }
+
+let lu_solve { n; f; perm } b =
+  if Array.length b <> n then invalid_arg "Matrix.lu_solve: bad RHS length";
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* forward substitution (unit lower) *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (f.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (f.((i * n) + j) *. x.(j))
+    done;
+    x.(i) <- !s /. f.((i * n) + i)
+  done;
+  x
+
+let solve a b = lu_solve (lu_factor a) b
+
+let least_squares a b =
+  if a.r < a.c then invalid_arg "Matrix.least_squares: underdetermined";
+  if Array.length b <> a.r then
+    invalid_arg "Matrix.least_squares: bad RHS length";
+  let at = transpose a in
+  let ata = mul at a in
+  (* Tikhonov whisper keeps the normal equations well-posed when features
+     are nearly collinear (e.g. Formula 3 with constant sensitivities). *)
+  for i = 0 to ata.r - 1 do
+    add_to ata i i 1e-9
+  done;
+  let atb = mulv at b in
+  solve ata atb
+
+let cholesky a =
+  if a.r <> a.c then invalid_arg "Matrix.cholesky: not square";
+  let n = a.r in
+  let l = create n n in
+  let ok = ref true in
+  (try
+     for i = 0 to n - 1 do
+       for j = 0 to i do
+         let s = ref (get a i j) in
+         for k = 0 to j - 1 do
+           s := !s -. (get l i k *. get l j k)
+         done;
+         if i = j then begin
+           if !s <= 0.0 then raise Exit;
+           set l i i (sqrt !s)
+         end
+         else set l i j (!s /. get l j j)
+       done
+     done
+   with Exit -> ok := false);
+  if !ok then Some l else None
+
+let pp fmt m =
+  for i = 0 to m.r - 1 do
+    Format.fprintf fmt "[";
+    for j = 0 to m.c - 1 do
+      Format.fprintf fmt "%s%10.4g" (if j > 0 then " " else "") (get m i j)
+    done;
+    Format.fprintf fmt "]@\n"
+  done

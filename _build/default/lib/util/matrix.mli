@@ -1,0 +1,56 @@
+(** Dense linear algebra: the small kernel the circuit simulator (MNA) and
+    the Formula-(3) least-squares fit need.  Row-major flat storage. *)
+
+type t
+
+(** [create rows cols] is a zero matrix. *)
+val create : int -> int -> t
+
+(** [of_rows a] builds a matrix from an array of equal-length rows. *)
+val of_rows : float array array -> t
+
+(** [identity n] is the n-by-n identity. *)
+val identity : int -> t
+
+val rows : t -> int
+val cols : t -> int
+val get : t -> int -> int -> float
+val set : t -> int -> int -> float -> unit
+
+(** [add_to m i j v] adds [v] to entry (i,j) — the MNA "stamp" primitive. *)
+val add_to : t -> int -> int -> float -> unit
+
+val copy : t -> t
+val transpose : t -> t
+
+(** [mul a b] is the matrix product. *)
+val mul : t -> t -> t
+
+(** [mulv a x] is the matrix–vector product. *)
+val mulv : t -> float array -> float array
+
+(** LU factorization with partial pivoting, reusable across many solves
+    (the transient simulator factors once per timestep size). *)
+type lu
+
+(** [lu_factor a] factors a square matrix.  Raises [Failure] if singular to
+    working precision. *)
+val lu_factor : t -> lu
+
+(** [lu_solve lu b] solves [A x = b] for the factored [A]; [b] is not
+    modified. *)
+val lu_solve : lu -> float array -> float array
+
+(** [solve a b] is [lu_solve (lu_factor a) b]. *)
+val solve : t -> float array -> float array
+
+(** [least_squares a b] minimizes ||A x - b||_2 via the normal equations
+    (A is m-by-n with m >= n); returns the n coefficients. *)
+val least_squares : t -> float array -> float array
+
+(** [cholesky a] is the lower-triangular Cholesky factor of a symmetric
+    positive-definite matrix; [None] if not positive definite.  Used to
+    validate inductance matrices. *)
+val cholesky : t -> t option
+
+val pp : Format.formatter -> t -> unit

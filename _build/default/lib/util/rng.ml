@@ -1,0 +1,74 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+(* splitmix64 finalizer: mixes a 64-bit value to full avalanche. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix64 (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden;
+  mix64 t.state
+
+let split t = { state = mix64 (bits64 t) }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is < 2^-40 for n < 2^24. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod n
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 random bits scaled to [0,1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  x *. (v /. 9007199254740992.0)
+
+let bool t p = float t 1.0 < p
+
+let exponential t ~mean =
+  let u = 1.0 -. float t 1.0 in
+  -.mean *. log u
+
+let gaussian t ~mu ~sigma =
+  let u1 = 1.0 -. float t 1.0 and u2 = float t 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p out of (0,1]";
+  if p >= 1.0 then 0
+  else
+    let u = 1.0 -. float t 1.0 in
+    int_of_float (Float.floor (log u /. log (1.0 -. p)))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+let pair_hash ~seed i j =
+  let lo = min i j and hi = max i j in
+  let h =
+    mix64
+      (Int64.add
+         (mix64 (Int64.add (Int64.of_int seed) (Int64.of_int lo)))
+         (Int64.of_int hi))
+  in
+  let v = Int64.to_float (Int64.shift_right_logical h 11) in
+  v /. 9007199254740992.0

@@ -1,0 +1,56 @@
+(** Deterministic, splittable pseudo-random number generator (splitmix64).
+
+    Every stochastic component of the library takes an explicit [Rng.t] so
+    that benchmark circuits, SINO solutions and LSK tables are reproducible
+    run to run.  The generator is the splitmix64 sequence, which has a
+    one-word state, passes BigCrush, and splits cleanly. *)
+
+type t
+
+(** [create seed] builds a generator from an integer seed.  Equal seeds give
+    equal streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] advances [t] and returns a statistically independent child
+    generator; used to give each net / region / trial its own stream. *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t n] is uniform in [\[0, n)].  Raises [Invalid_argument] if
+    [n <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive). *)
+val int_in : t -> int -> int -> int
+
+(** [float t x] is uniform in [\[0, x)]. *)
+val float : t -> float -> float
+
+(** [bool t p] is [true] with probability [p]. *)
+val bool : t -> float -> bool
+
+(** [exponential t ~mean] samples an exponential variate. *)
+val exponential : t -> mean:float -> float
+
+(** [gaussian t ~mu ~sigma] samples a normal variate (Box–Muller). *)
+val gaussian : t -> mu:float -> sigma:float -> float
+
+(** [geometric t p] is the number of Bernoulli(p) failures before the first
+    success (support {0, 1, ...}).  Requires [0 < p <= 1]. *)
+val geometric : t -> float -> int
+
+(** [shuffle t a] permutes [a] in place (Fisher–Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t a] is a uniformly random element of the non-empty array [a]. *)
+val choose : t -> 'a array -> 'a
+
+(** [pair_hash ~seed i j] is a stateless uniform float in [\[0,1)] that is a
+    pure function of the unordered pair [{i,j}] and [seed].  Used to realize
+    the paper's random symmetric sensitivity matrix in O(1) space. *)
+val pair_hash : seed:int -> int -> int -> float

@@ -1,0 +1,75 @@
+let check_nonempty name a =
+  if Array.length a = 0 then invalid_arg (name ^ ": empty array")
+
+let sum a =
+  (* Kahan summation: benchmark aggregates add ~1e5 terms. *)
+  let s = ref 0.0 and c = ref 0.0 in
+  Array.iter
+    (fun x ->
+      let y = x -. !c in
+      let t = !s +. y in
+      c := t -. !s -. y;
+      s := t)
+    a;
+  !s
+
+let mean a =
+  check_nonempty "Stats.mean" a;
+  sum a /. float_of_int (Array.length a)
+
+let stdev a =
+  check_nonempty "Stats.stdev" a;
+  let m = mean a in
+  let acc = Array.map (fun x -> (x -. m) *. (x -. m)) a in
+  sqrt (sum acc /. float_of_int (Array.length a))
+
+let minimum a =
+  check_nonempty "Stats.minimum" a;
+  Array.fold_left min a.(0) a
+
+let maximum a =
+  check_nonempty "Stats.maximum" a;
+  Array.fold_left max a.(0) a
+
+let percentile a p =
+  check_nonempty "Stats.percentile" a;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let s = Array.copy a in
+  Array.sort compare s;
+  let n = Array.length s in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
+
+let mean_int a =
+  check_nonempty "Stats.mean_int" a;
+  float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (Array.length a)
+
+let ratio_pct x base =
+  if base = 0.0 then invalid_arg "Stats.ratio_pct: zero base";
+  (x -. base) /. base *. 100.0
+
+let r_squared ~actual ~predicted =
+  if Array.length actual <> Array.length predicted then
+    invalid_arg "Stats.r_squared: length mismatch";
+  check_nonempty "Stats.r_squared" actual;
+  let m = mean actual in
+  let ss_tot = sum (Array.map (fun x -> (x -. m) ** 2.0) actual) in
+  let ss_res =
+    sum (Array.mapi (fun i x -> (x -. predicted.(i)) ** 2.0) actual)
+  in
+  if ss_tot = 0.0 then if ss_res = 0.0 then 1.0 else 0.0
+  else 1.0 -. (ss_res /. ss_tot)
+
+let max_rel_err ?(eps = 1e-12) ~actual predicted =
+  if Array.length actual <> Array.length predicted then
+    invalid_arg "Stats.max_rel_err: length mismatch";
+  let worst = ref 0.0 in
+  Array.iteri
+    (fun i x ->
+      if Float.abs x >= eps then
+        worst := Float.max !worst (Float.abs (predicted.(i) -. x) /. Float.abs x))
+    actual;
+  !worst

@@ -1,0 +1,33 @@
+(** Small descriptive-statistics helpers used by the benchmark reports. *)
+
+(** [mean a] is the arithmetic mean of a non-empty array. *)
+val mean : float array -> float
+
+(** [stdev a] is the (population) standard deviation. *)
+val stdev : float array -> float
+
+(** [minimum a] / [maximum a] over a non-empty array. *)
+val minimum : float array -> float
+
+val maximum : float array -> float
+
+(** [sum a] with Kahan compensation. *)
+val sum : float array -> float
+
+(** [percentile a p] is the [p]-th percentile ([0. <= p <= 100.]) by linear
+    interpolation of the sorted data. *)
+val percentile : float array -> float -> float
+
+(** [mean_int a] is the mean of an integer array as a float. *)
+val mean_int : int array -> float
+
+(** [ratio_pct x base] is [(x - base) / base * 100.]; the overhead
+    percentage format used in the paper's Tables 2 and 3. *)
+val ratio_pct : float -> float -> float
+
+(** [r_squared ~actual ~predicted] is the coefficient of determination. *)
+val r_squared : actual:float array -> predicted:float array -> float
+
+(** [max_rel_err ~actual predicted] is max_i |pred_i - act_i| / |act_i|,
+    skipping entries with |act_i| < eps. *)
+val max_rel_err : ?eps:float -> actual:float array -> float array -> float

@@ -1,0 +1,27 @@
+type t = { parent : int array; rank : int array; mutable sets : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; sets = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then false
+  else begin
+    let ri, rj = if t.rank.(ri) < t.rank.(rj) then (rj, ri) else (ri, rj) in
+    t.parent.(rj) <- ri;
+    if t.rank.(ri) = t.rank.(rj) then t.rank.(ri) <- t.rank.(ri) + 1;
+    t.sets <- t.sets - 1;
+    true
+  end
+
+let same t i j = find t i = find t j
+let count t = t.sets

@@ -1,0 +1,20 @@
+(** Disjoint-set forest with path compression and union by rank.  Used by
+    the rectilinear MST (Kruskal variant) and connectivity checks. *)
+
+type t
+
+(** [create n] builds [n] singleton sets labelled [0 .. n-1]. *)
+val create : int -> t
+
+(** [find t i] is the canonical representative of [i]'s set. *)
+val find : t -> int -> int
+
+(** [union t i j] merges the two sets; returns [true] if they were
+    previously distinct. *)
+val union : t -> int -> int -> bool
+
+(** [same t i j] tests whether [i] and [j] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** [count t] is the current number of disjoint sets. *)
+val count : t -> int

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Eda_circuit Eda_lsk Eda_sino Eda_util Float List Printf

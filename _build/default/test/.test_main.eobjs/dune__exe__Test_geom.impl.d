@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Eda_geom Gen List QCheck QCheck_alcotest Test

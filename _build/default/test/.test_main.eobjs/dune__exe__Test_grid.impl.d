@@ -1,0 +1,1 @@
+test/test_grid.ml: Alcotest Eda_geom Eda_grid Eda_netlist Gen List QCheck QCheck_alcotest Test

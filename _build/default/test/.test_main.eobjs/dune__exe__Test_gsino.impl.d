@@ -1,0 +1,1 @@
+test/test_gsino.ml: Alcotest Array Budget Buffer Eda_geom Eda_grid Eda_netlist Eda_sino Eda_util Float Flow Format Gsino Hashtbl Id_router Lazy List Noise Phase2 Printf Refine Report String Tech

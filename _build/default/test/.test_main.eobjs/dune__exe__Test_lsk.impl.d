@@ -1,0 +1,1 @@
+test/test_lsk.ml: Alcotest Array Eda_circuit Eda_lsk Eda_sino Eda_util Lazy List Printf

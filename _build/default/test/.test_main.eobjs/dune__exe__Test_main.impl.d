@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_circuit Test_extensions Test_geom Test_grid Test_gsino Test_lsk Test_netlist Test_refine Test_sino Test_steiner Test_util

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Eda_geom Eda_netlist Eda_util Float List Printf QCheck QCheck_alcotest Test

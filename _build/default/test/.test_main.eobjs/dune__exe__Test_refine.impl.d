@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Budget Eda_grid Eda_netlist Eda_sino Flow Format Gsino Lazy List Noise Phase2 Printf Refine String Tech

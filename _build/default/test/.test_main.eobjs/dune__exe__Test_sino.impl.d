@@ -1,0 +1,1 @@
+test/test_sino.ml: Alcotest Array Eda_sino Eda_util Lazy List Printf QCheck QCheck_alcotest Test

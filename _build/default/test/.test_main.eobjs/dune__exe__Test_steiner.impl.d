@@ -1,0 +1,1 @@
+test/test_steiner.ml: Alcotest Array Eda_geom Eda_steiner Eda_util Gen Hashtbl List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Eda_util Float Gen List QCheck QCheck_alcotest Test

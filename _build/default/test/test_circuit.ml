@@ -1,0 +1,203 @@
+(* Tests for Eda_circuit: waveforms, MNA transient physics, coupled
+   lines.  Analytic RC/RLC references validate the integrator. *)
+module Waveform = Eda_circuit.Waveform
+module Mna = Eda_circuit.Mna
+module Transient = Eda_circuit.Transient
+module Coupled_line = Eda_circuit.Coupled_line
+
+let test_waveform_dc () =
+  Alcotest.(check (float 1e-12)) "dc" 3.3 (Waveform.value (Waveform.Dc 3.3) 1.0);
+  Alcotest.(check (float 1e-12)) "initial" 3.3 (Waveform.initial (Waveform.Dc 3.3))
+
+let test_waveform_ramp () =
+  let w = Waveform.Ramp { v0 = 0.0; v1 = 2.0; t_delay = 1.0; t_rise = 2.0 } in
+  Alcotest.(check (float 1e-12)) "before" 0.0 (Waveform.value w 0.5);
+  Alcotest.(check (float 1e-12)) "at delay" 0.0 (Waveform.value w 1.0);
+  Alcotest.(check (float 1e-12)) "mid ramp" 1.0 (Waveform.value w 2.0);
+  Alcotest.(check (float 1e-12)) "after" 2.0 (Waveform.value w 5.0)
+
+let step v1 = Waveform.Ramp { v0 = 0.0; v1; t_delay = 0.0; t_rise = 1e-12 }
+
+(* R=1k, C=1pF: v(t) = 1 - exp(-t/tau), tau = 1 ns *)
+let test_rc_step_response () =
+  let c = Mna.create () in
+  let a = Mna.node c and b = Mna.node c in
+  ignore (Mna.vsource c a Mna.ground (step 1.0));
+  Mna.resistor c a b 1000.0;
+  Mna.capacitor c b Mna.ground 1e-12;
+  let r = Transient.run c ~dt:2e-12 ~t_end:5e-9 ~probes:[ b ] in
+  List.iter
+    (fun t_ns ->
+      let expect = 1.0 -. exp (-.t_ns) in
+      let got = Transient.value_at r 0 (t_ns *. 1e-9) in
+      Alcotest.(check (float 2e-3))
+        (Printf.sprintf "v(%.1f tau)" t_ns)
+        expect got)
+    [ 0.5; 1.0; 2.0; 3.0 ]
+
+(* series RLC, underdamped: peak overshoot = 1 + exp(-pi*zeta/sqrt(1-zeta^2)) *)
+let test_rlc_overshoot () =
+  let r_ohm = 10.0 and l = 1e-9 and cap = 1e-12 in
+  let c = Mna.create () in
+  let a = Mna.node c and b = Mna.node c and d = Mna.node c in
+  ignore (Mna.vsource c a Mna.ground (step 1.0));
+  Mna.resistor c a b r_ohm;
+  ignore (Mna.inductor c b d l);
+  Mna.capacitor c d Mna.ground cap;
+  let r = Transient.run c ~dt:5e-13 ~t_end:2e-9 ~probes:[ d ] in
+  let zeta = r_ohm /. 2.0 *. sqrt (cap /. l) in
+  let expect = 1.0 +. exp (-.Float.pi *. zeta /. sqrt (1.0 -. (zeta *. zeta))) in
+  Alcotest.(check (float 0.02)) "overshoot" expect (Transient.peak_abs r 0);
+  Alcotest.(check (float 0.01)) "settles to 1" 1.0 (Transient.value_at r 0 2e-9)
+
+let test_resistive_divider () =
+  let c = Mna.create () in
+  let a = Mna.node c and b = Mna.node c in
+  ignore (Mna.vsource c a Mna.ground (step 2.0));
+  Mna.resistor c a b 1000.0;
+  Mna.resistor c b Mna.ground 3000.0;
+  let r = Transient.run c ~dt:1e-12 ~t_end:1e-10 ~probes:[ b ] in
+  Alcotest.(check (float 1e-6)) "3/4 of source" 1.5 (Transient.value_at r 0 1e-10)
+
+(* ideal transformer-ish: two coupled inductors, secondary open via big R;
+   induced voltage ratio ~ k for equal inductances *)
+let test_mutual_coupling () =
+  let build k =
+    let c = Mna.create () in
+    let a = Mna.node c and b = Mna.node c in
+    ignore (Mna.vsource c a Mna.ground
+        (Waveform.Ramp { v0 = 0.0; v1 = 1.0; t_delay = 0.0; t_rise = 1e-9 }));
+    let i1 = Mna.inductor c a Mna.ground 1e-9 in
+    (* secondary loop with load *)
+    let i2 = Mna.inductor c b Mna.ground 1e-9 in
+    Mna.resistor c b Mna.ground 1e6;
+    if k > 0.0 then Mna.mutual c i1 i2 k;
+    let r = Transient.run c ~dt:1e-12 ~t_end:5e-10 ~probes:[ b ] in
+    Transient.peak_abs r 0
+  in
+  let v_half = build 0.5 and v_quarter = build 0.25 and v_zero = build 0.0 in
+  Alcotest.(check bool) "coupling induces voltage" true (v_half > 1e-3);
+  Alcotest.(check bool) "higher k, higher induction" true (v_half > v_quarter);
+  Alcotest.(check (float 1e-9)) "no coupling, no voltage" 0.0 v_zero
+
+let test_transient_validation () =
+  let c = Mna.create () in
+  let a = Mna.node c in
+  ignore (Mna.vsource c a Mna.ground (Waveform.Dc 1.0));
+  Mna.resistor c a Mna.ground 100.0;
+  Alcotest.check_raises "nonzero initial source"
+    (Invalid_argument "Transient.run: sources must start at 0") (fun () ->
+      ignore (Transient.run c ~dt:1e-12 ~t_end:1e-10 ~probes:[ a ]));
+  let c2 = Mna.create () in
+  let b = Mna.node c2 in
+  ignore (Mna.vsource c2 b Mna.ground (step 1.0));
+  Mna.resistor c2 b Mna.ground 10.0;
+  Alcotest.check_raises "no probes"
+    (Invalid_argument "Transient.run: no probes") (fun () ->
+      ignore (Transient.run c2 ~dt:1e-12 ~t_end:1e-10 ~probes:[]))
+
+let test_mna_validation () =
+  let c = Mna.create () in
+  let a = Mna.node c in
+  Alcotest.check_raises "bad resistance"
+    (Invalid_argument "Mna.resistor: non-positive resistance") (fun () ->
+      Mna.resistor c a Mna.ground 0.0);
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Mna.resistor: unknown node") (fun () ->
+      Mna.resistor c 99 Mna.ground 10.0);
+  let i = Mna.inductor c a Mna.ground 1e-9 in
+  Alcotest.check_raises "self mutual"
+    (Invalid_argument "Mna.mutual: bad inductor indices") (fun () ->
+      Mna.mutual c i i 0.5)
+
+let default_spec length_m =
+  let e = Eda_lsk.Table_builder.default_electrical in
+  Eda_lsk.Table_builder.spec_of e ~keff:Eda_sino.Keff.default ~length_m
+
+let default_drive () =
+  let e = Eda_lsk.Table_builder.default_electrical in
+  {
+    Coupled_line.rd = e.Eda_lsk.Table_builder.rd;
+    cl = e.Eda_lsk.Table_builder.cl;
+    vdd = e.Eda_lsk.Table_builder.vdd;
+    t_delay = e.Eda_lsk.Table_builder.t_delay;
+    t_rise = e.Eda_lsk.Table_builder.t_rise;
+  }
+
+let noise roles length_m =
+  Coupled_line.worst_victim_noise (default_spec length_m) (default_drive ()) roles
+
+let test_coupled_line_inductance_pd () =
+  let spec = default_spec 1e-3 in
+  let c, _ = Coupled_line.build spec (default_drive ())
+      [| Coupled_line.Aggressor; Coupled_line.Victim; Coupled_line.Quiet;
+         Coupled_line.Shield; Coupled_line.Aggressor |]
+  in
+  let l = Mna.inductance_matrix c in
+  Alcotest.(check bool) "PD inductance matrix" true
+    (Eda_util.Matrix.cholesky l <> None)
+
+let test_coupled_line_shield_blocks () =
+  let open Coupled_line in
+  let v_adj = noise [| Aggressor; Victim |] 1e-3 in
+  let v_quiet = noise [| Aggressor; Quiet; Victim |] 1e-3 in
+  let v_shield = noise [| Aggressor; Shield; Victim |] 1e-3 in
+  Alcotest.(check bool) "noticeable adjacent noise" true (v_adj > 0.05);
+  Alcotest.(check bool) "distance helps" true (v_quiet < v_adj);
+  Alcotest.(check bool) "shield beats distance" true (v_shield < 0.75 *. v_quiet)
+
+let test_coupled_line_length_monotone () =
+  let open Coupled_line in
+  let roles = [| Aggressor; Victim |] in
+  let v1 = noise roles 0.5e-3 and v2 = noise roles 1e-3 and v3 = noise roles 2e-3 in
+  Alcotest.(check bool) "longer, noisier (0.5->1mm)" true (v2 > v1);
+  Alcotest.(check bool) "longer, noisier (1->2mm)" true (v3 > v2)
+
+let test_coupled_line_aggressors_add () =
+  let open Coupled_line in
+  let v1 = noise [| Aggressor; Victim; Quiet |] 1e-3 in
+  let v2 = noise [| Aggressor; Victim; Aggressor |] 1e-3 in
+  Alcotest.(check bool) "two aggressors worse" true (v2 > 1.3 *. v1)
+
+let test_coupled_line_victim_list () =
+  let open Coupled_line in
+  let spec = default_spec 1e-3 in
+  let vs = victim_noise spec (default_drive ()) [| Victim; Aggressor; Victim |] in
+  Alcotest.(check int) "both victims probed" 2 (List.length vs);
+  Alcotest.(check bool) "victim indices" true (List.mem_assoc 0 vs && List.mem_assoc 2 vs);
+  Alcotest.check_raises "no victim"
+    (Invalid_argument "Coupled_line.victim_noise: no victim wire") (fun () ->
+      ignore (victim_noise spec (default_drive ()) [| Aggressor; Quiet |]))
+
+let test_coupled_line_quiet_victim_low () =
+  let open Coupled_line in
+  (* all wires quiet: victim sees (almost) nothing *)
+  let v = noise [| Quiet; Victim; Quiet |] 1e-3 in
+  Alcotest.(check bool) "quiet bus is quiet" true (v < 1e-6)
+
+let suites =
+  [
+    ( "circuit.waveform",
+      [
+        Alcotest.test_case "dc" `Quick test_waveform_dc;
+        Alcotest.test_case "ramp" `Quick test_waveform_ramp;
+      ] );
+    ( "circuit.transient",
+      [
+        Alcotest.test_case "RC analytic" `Quick test_rc_step_response;
+        Alcotest.test_case "RLC overshoot analytic" `Quick test_rlc_overshoot;
+        Alcotest.test_case "resistive divider" `Quick test_resistive_divider;
+        Alcotest.test_case "mutual coupling" `Quick test_mutual_coupling;
+        Alcotest.test_case "transient validation" `Quick test_transient_validation;
+        Alcotest.test_case "mna validation" `Quick test_mna_validation;
+      ] );
+    ( "circuit.coupled_line",
+      [
+        Alcotest.test_case "inductance PD" `Quick test_coupled_line_inductance_pd;
+        Alcotest.test_case "shield blocks coupling" `Quick test_coupled_line_shield_blocks;
+        Alcotest.test_case "noise grows with length" `Quick test_coupled_line_length_monotone;
+        Alcotest.test_case "aggressors add" `Quick test_coupled_line_aggressors_add;
+        Alcotest.test_case "victim list" `Quick test_coupled_line_victim_list;
+        Alcotest.test_case "quiet bus" `Quick test_coupled_line_quiet_victim_low;
+      ] );
+  ]

@@ -1,0 +1,134 @@
+(* Tests for Eda_geom: points and rectangles. *)
+module Point = Eda_geom.Point
+module Rect = Eda_geom.Rect
+
+let p = Point.make
+
+let test_point_manhattan () =
+  Alcotest.(check int) "3+4" 7 (Point.manhattan (p 0 0) (p 3 4));
+  Alcotest.(check int) "symmetric" 7 (Point.manhattan (p 3 4) (p 0 0));
+  Alcotest.(check int) "self" 0 (Point.manhattan (p 5 5) (p 5 5));
+  Alcotest.(check int) "negative coords" 10 (Point.manhattan (p (-2) (-3)) (p 3 2))
+
+let test_point_arith () =
+  Alcotest.(check bool) "add" true (Point.equal (Point.add (p 1 2) (p 3 4)) (p 4 6));
+  Alcotest.(check bool) "sub" true (Point.equal (Point.sub (p 5 5) (p 2 3)) (p 3 2))
+
+let test_point_compare () =
+  Alcotest.(check bool) "x major" true (Point.compare (p 1 9) (p 2 0) < 0);
+  Alcotest.(check bool) "y minor" true (Point.compare (p 1 1) (p 1 2) < 0);
+  Alcotest.(check int) "equal" 0 (Point.compare (p 3 3) (p 3 3))
+
+let test_point_clamp () =
+  let lo = p 0 0 and hi = p 9 9 in
+  Alcotest.(check bool) "inside unchanged" true
+    (Point.equal (Point.clamp (p 5 5) ~lo ~hi) (p 5 5));
+  Alcotest.(check bool) "clamped below" true
+    (Point.equal (Point.clamp (p (-3) 4) ~lo ~hi) (p 0 4));
+  Alcotest.(check bool) "clamped above" true
+    (Point.equal (Point.clamp (p 12 15) ~lo ~hi) (p 9 9))
+
+let test_rect_make_normalizes () =
+  let r = Rect.make 5 6 1 2 in
+  Alcotest.(check bool) "normalized" true (Rect.equal r (Rect.make 1 2 5 6))
+
+let test_rect_of_points () =
+  let r = Rect.of_points [ p 3 1; p 0 4; p 2 2 ] in
+  Alcotest.(check bool) "bbox" true (Rect.equal r (Rect.make 0 1 3 4));
+  Alcotest.check_raises "empty rejected"
+    (Invalid_argument "Rect.of_points: empty list") (fun () ->
+      ignore (Rect.of_points []))
+
+let test_rect_dims () =
+  let r = Rect.make 1 1 4 6 in
+  Alcotest.(check int) "width" 4 (Rect.width r);
+  Alcotest.(check int) "height" 6 (Rect.height r);
+  Alcotest.(check int) "cells" 24 (Rect.cells r);
+  Alcotest.(check int) "hpwl" 8 (Rect.half_perimeter r)
+
+let test_rect_contains () =
+  let r = Rect.make 0 0 3 3 in
+  Alcotest.(check bool) "inside" true (Rect.contains r (p 2 2));
+  Alcotest.(check bool) "corner" true (Rect.contains r (p 3 3));
+  Alcotest.(check bool) "outside" false (Rect.contains r (p 4 0))
+
+let test_rect_expand () =
+  let r = Rect.expand (Rect.make 2 2 4 4) 1 in
+  Alcotest.(check bool) "expanded" true (Rect.equal r (Rect.make 1 1 5 5));
+  let shrunk = Rect.expand (Rect.make 0 0 4 4) (-1) in
+  Alcotest.(check bool) "shrunk" true (Rect.equal shrunk (Rect.make 1 1 3 3));
+  Alcotest.check_raises "collapse rejected"
+    (Invalid_argument "Rect.expand: rectangle collapsed") (fun () ->
+      ignore (Rect.expand (Rect.make 0 0 1 1) (-2)))
+
+let test_rect_intersect () =
+  let a = Rect.make 0 0 4 4 and b = Rect.make 2 2 6 6 in
+  (match Rect.intersect a b with
+  | None -> Alcotest.fail "should overlap"
+  | Some r -> Alcotest.(check bool) "overlap" true (Rect.equal r (Rect.make 2 2 4 4)));
+  Alcotest.(check bool) "disjoint" true
+    (Rect.intersect (Rect.make 0 0 1 1) (Rect.make 3 3 4 4) = None);
+  (* touching at a corner: inclusive bounds overlap in one cell *)
+  match Rect.intersect (Rect.make 0 0 2 2) (Rect.make 2 2 4 4) with
+  | Some r -> Alcotest.(check int) "single cell" 1 (Rect.cells r)
+  | None -> Alcotest.fail "inclusive corner should intersect"
+
+let test_rect_clip () =
+  let r = Rect.clip (Rect.make (-2) (-2) 3 3) ~within:(Rect.make 0 0 9 9) in
+  Alcotest.(check bool) "clipped" true (Rect.equal r (Rect.make 0 0 3 3));
+  Alcotest.check_raises "disjoint clip"
+    (Invalid_argument "Rect.clip: disjoint rectangles") (fun () ->
+      ignore (Rect.clip (Rect.make 20 20 30 30) ~within:(Rect.make 0 0 9 9)))
+
+let test_rect_iter () =
+  let r = Rect.make 1 1 3 2 in
+  let count = ref 0 in
+  Rect.iter r (fun q ->
+      incr count;
+      Alcotest.(check bool) "iterated point inside" true (Rect.contains r q));
+  Alcotest.(check int) "visits all cells" (Rect.cells r) !count
+
+let qcheck_tests =
+  let open QCheck in
+  let coord = Gen.int_range (-50) 50 in
+  let point_gen = Gen.map2 Point.make coord coord in
+  let point_arb = make point_gen in
+  [
+    Test.make ~name:"manhattan triangle inequality" ~count:300
+      (triple point_arb point_arb point_arb)
+      (fun (a, b, c) ->
+        Point.manhattan a c <= Point.manhattan a b + Point.manhattan b c);
+    Test.make ~name:"bbox contains its points" ~count:300
+      (list_of_size (Gen.int_range 1 10) point_arb)
+      (fun pts ->
+        let r = Rect.of_points pts in
+        List.for_all (Rect.contains r) pts);
+    Test.make ~name:"intersect commutes" ~count:300
+      (pair (pair point_arb point_arb) (pair point_arb point_arb))
+      (fun ((a1, a2), (b1, b2)) ->
+        let ra = Rect.of_points [ a1; a2 ] and rb = Rect.of_points [ b1; b2 ] in
+        Rect.intersect ra rb = Rect.intersect rb ra);
+  ]
+
+let suites =
+  [
+    ( "geom.point",
+      [
+        Alcotest.test_case "manhattan" `Quick test_point_manhattan;
+        Alcotest.test_case "arith" `Quick test_point_arith;
+        Alcotest.test_case "compare" `Quick test_point_compare;
+        Alcotest.test_case "clamp" `Quick test_point_clamp;
+      ] );
+    ( "geom.rect",
+      [
+        Alcotest.test_case "make normalizes" `Quick test_rect_make_normalizes;
+        Alcotest.test_case "of_points" `Quick test_rect_of_points;
+        Alcotest.test_case "dimensions" `Quick test_rect_dims;
+        Alcotest.test_case "contains" `Quick test_rect_contains;
+        Alcotest.test_case "expand" `Quick test_rect_expand;
+        Alcotest.test_case "intersect" `Quick test_rect_intersect;
+        Alcotest.test_case "clip" `Quick test_rect_clip;
+        Alcotest.test_case "iter" `Quick test_rect_iter;
+      ] );
+    ("geom.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]

@@ -1,0 +1,17 @@
+(* Aggregates every module's alcotest suites into one runner. *)
+let () =
+  Alcotest.run "gsino"
+    (List.concat
+       [
+         Test_util.suites;
+         Test_geom.suites;
+         Test_netlist.suites;
+         Test_grid.suites;
+         Test_steiner.suites;
+         Test_circuit.suites;
+         Test_sino.suites;
+         Test_lsk.suites;
+         Test_gsino.suites;
+         Test_extensions.suites;
+         Test_refine.suites;
+       ])

@@ -1,0 +1,367 @@
+(* Tests for Eda_sino: Keff surrogate, instances, layouts, the SINO
+   solvers and the Formula-(3) estimator. *)
+module Rng = Eda_util.Rng
+module Keff = Eda_sino.Keff
+module Instance = Eda_sino.Instance
+module Layout = Eda_sino.Layout
+module Solver = Eda_sino.Solver
+module Estimate = Eda_sino.Estimate
+
+let k = Keff.default
+
+let all_sensitive i j = i <> j
+let none_sensitive _ _ = false
+
+let mk_inst ?(sensitive = all_sensitive) ~kth n =
+  Instance.make ~nets:(Array.init n (fun i -> i)) ~kth:(Array.make n kth) ~sensitive
+
+let test_keff_decay () =
+  let c d = Keff.pair_coupling k ~dist:d ~shields_between:0 in
+  Alcotest.(check (float 1e-12)) "d=1 is k1" k.Keff.k1 (c 1);
+  Alcotest.(check (float 1e-12)) "geometric decay" (k.Keff.k1 ** 2.0) (c 2);
+  Alcotest.(check bool) "monotone" true (c 1 > c 2 && c 2 > c 3);
+  Alcotest.(check (float 1e-12)) "beyond window" 0.0 (c (k.Keff.window + 1))
+
+let test_keff_shield_block () =
+  let c n = Keff.pair_coupling k ~dist:3 ~shields_between:n in
+  Alcotest.(check (float 1e-12)) "one shield" (c 0 *. k.Keff.shield_block) (c 1);
+  Alcotest.(check (float 1e-12)) "two shields" (c 0 *. (k.Keff.shield_block ** 2.0)) (c 2)
+
+let test_keff_validation () =
+  Alcotest.check_raises "dist 0" (Invalid_argument "Keff.pair_coupling: dist >= 1")
+    (fun () -> ignore (Keff.pair_coupling k ~dist:0 ~shields_between:0));
+  Alcotest.check_raises "negative shields"
+    (Invalid_argument "Keff.pair_coupling: negative shields") (fun () ->
+      ignore (Keff.pair_coupling k ~dist:1 ~shields_between:(-1)))
+
+let test_keff_max_feasible () =
+  let expect = ref 0.0 in
+  for d = 1 to k.Keff.window do
+    expect := !expect +. (k.Keff.k1 ** float_of_int d)
+  done;
+  Alcotest.(check (float 1e-12)) "2 sum k1^d" (2.0 *. !expect) (Keff.max_feasible_k k)
+
+let test_instance_basics () =
+  let inst = mk_inst ~kth:1.0 4 in
+  Alcotest.(check int) "size" 4 (Instance.size inst);
+  Alcotest.(check int) "net id" 2 (Instance.net_id inst 2);
+  Alcotest.(check (float 1e-12)) "kth" 1.0 (Instance.kth inst 1);
+  Alcotest.(check bool) "sens" true (Instance.sens inst 0 1);
+  Alcotest.(check bool) "diag" false (Instance.sens inst 2 2);
+  Alcotest.(check (float 1e-12)) "S_i all sensitive" 1.0 (Instance.sensitivity inst 0)
+
+let test_instance_with_kth () =
+  let inst = mk_inst ~kth:1.0 3 in
+  let inst2 = Instance.with_kth inst 1 0.2 in
+  Alcotest.(check (float 1e-12)) "updated" 0.2 (Instance.kth inst2 1);
+  Alcotest.(check (float 1e-12)) "original untouched" 1.0 (Instance.kth inst 1);
+  Alcotest.check_raises "non-positive bound"
+    (Invalid_argument "Instance.with_kth: bound must be positive") (fun () ->
+      ignore (Instance.with_kth inst 1 0.0))
+
+let test_instance_sensitivity_fraction () =
+  (* net 0 sensitive only to net 1, out of 3 others *)
+  let sens i j = (i = 0 && j = 1) || (i = 1 && j = 0) in
+  let inst = mk_inst ~sensitive:sens ~kth:1.0 4 in
+  Alcotest.(check (float 1e-9)) "1 of 3" (1.0 /. 3.0) (Instance.sensitivity inst 0);
+  Alcotest.(check (float 1e-9)) "net 2 isolated" 0.0 (Instance.sensitivity inst 2)
+
+let layout_of inst slots = Layout.make inst slots
+
+let test_layout_validation () =
+  let inst = mk_inst ~kth:1.0 2 in
+  Alcotest.(check bool) "missing net rejected" true
+    (try
+       ignore (layout_of inst [| Layout.Net 0; Layout.Shield |]);
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (layout_of inst [| Layout.Net 0; Layout.Net 0; Layout.Net 1 |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_layout_k_hand_computed () =
+  (* nets 0-1-2 adjacent, all sensitive: K(1) = 2*k1; K(0) = k1 + k1^2 *)
+  let inst = mk_inst ~kth:10.0 3 in
+  let l = layout_of inst [| Layout.Net 0; Layout.Net 1; Layout.Net 2 |] in
+  Alcotest.(check (float 1e-12)) "middle" (2.0 *. k.Keff.k1) (Layout.k_of l k 1);
+  Alcotest.(check (float 1e-12)) "edge" (k.Keff.k1 +. (k.Keff.k1 ** 2.0)) (Layout.k_of l k 0)
+
+let test_layout_k_with_shield () =
+  (* 0 | S | 1 : dist 2, one shield *)
+  let inst = mk_inst ~kth:10.0 2 in
+  let l = layout_of inst [| Layout.Net 0; Layout.Shield; Layout.Net 1 |] in
+  let expect = (k.Keff.k1 ** 2.0) *. k.Keff.shield_block in
+  Alcotest.(check (float 1e-12)) "shielded pair" expect (Layout.k_of l k 0);
+  Alcotest.(check int) "one shield" 1 (Layout.num_shields l)
+
+let test_layout_k_nonsensitive_ignored () =
+  let inst = mk_inst ~sensitive:none_sensitive ~kth:10.0 3 in
+  let l = layout_of inst [| Layout.Net 0; Layout.Net 1; Layout.Net 2 |] in
+  Alcotest.(check (float 1e-12)) "no sensitive, no coupling" 0.0 (Layout.k_of l k 1)
+
+let test_layout_cap_violations () =
+  let inst = mk_inst ~kth:10.0 3 in
+  let packed = layout_of inst [| Layout.Net 0; Layout.Net 1; Layout.Net 2 |] in
+  Alcotest.(check int) "two adjacent sensitive pairs" 2 (Layout.cap_violations packed);
+  let shielded =
+    layout_of inst [| Layout.Net 0; Layout.Shield; Layout.Net 1; Layout.Shield; Layout.Net 2 |]
+  in
+  Alcotest.(check int) "shields clear capacitive" 0 (Layout.cap_violations shielded)
+
+let test_layout_k_violations () =
+  let inst = mk_inst ~kth:0.1 2 in
+  let l = layout_of inst [| Layout.Net 0; Layout.Net 1 |] in
+  Alcotest.(check int) "both violate" 2 (List.length (Layout.k_violations l k));
+  Alcotest.(check bool) "not feasible" false (Layout.feasible l k)
+
+let test_layout_edits () =
+  let inst = mk_inst ~kth:10.0 2 in
+  let l = layout_of inst [| Layout.Net 0; Layout.Net 1 |] in
+  let l2 = Layout.insert_shield l 1 in
+  Alcotest.(check int) "tracks" 3 (Layout.num_tracks l2);
+  Alcotest.(check int) "positions shifted" 2 (Layout.position l2 1);
+  let l3 = Layout.remove_shield l2 1 in
+  Alcotest.(check int) "back to 2" 2 (Layout.num_tracks l3);
+  Alcotest.check_raises "removing a net"
+    (Invalid_argument "Layout.remove_shield: track holds a net") (fun () ->
+      ignore (Layout.remove_shield l2 0));
+  let l4 = Layout.swap l 0 1 in
+  Alcotest.(check int) "swapped" 1 (Layout.position l4 0)
+
+let test_order_only_no_shields () =
+  let rng = Rng.create 1 in
+  let inst = mk_inst ~kth:1.0 10 in
+  let l = Solver.order_only rng inst in
+  Alcotest.(check int) "no shields" 0 (Layout.num_shields l);
+  Alcotest.(check int) "exactly n tracks" 10 (Layout.num_tracks l)
+
+let test_order_only_avoids_adjacency () =
+  (* bipartite-ish sensitivity: evens sensitive to evens — a conflict-free
+     ordering exists and greedy+swap should find few violations *)
+  let sens i j = i <> j && i mod 2 = 0 && j mod 2 = 0 in
+  let inst = mk_inst ~sensitive:sens ~kth:10.0 8 in
+  let l = Solver.order_only (Rng.create 2) inst in
+  Alcotest.(check int) "no adjacent sensitive pairs" 0 (Layout.cap_violations l)
+
+let test_min_area_loose_bounds () =
+  (* no sensitivity and loose K: zero shields *)
+  let inst = mk_inst ~sensitive:none_sensitive ~kth:5.0 12 in
+  let l = Solver.min_area (Rng.create 3) inst in
+  Alcotest.(check int) "no shields needed" 0 (Layout.num_shields l);
+  Alcotest.(check bool) "feasible" true (Layout.feasible l k)
+
+let test_min_area_capacitive () =
+  (* all sensitive, loose K: shields must separate every adjacent pair *)
+  let inst = mk_inst ~kth:5.0 4 in
+  let l = Solver.min_area (Rng.create 4) inst in
+  Alcotest.(check int) "capacitive-free" 0 (Layout.cap_violations l);
+  Alcotest.(check bool) "feasible" true (Layout.feasible l k);
+  Alcotest.(check int) "needs n-1 shields" 3 (Layout.num_shields l)
+
+let test_min_area_inductive () =
+  (* tight-ish K forces extra shields beyond capacitive needs *)
+  let inst = mk_inst ~kth:0.25 8 in
+  let l = Solver.min_area (Rng.create 5) inst in
+  Alcotest.(check bool) "feasible" true (Layout.feasible l k);
+  Alcotest.(check bool) "uses shields" true (Layout.num_shields l >= 7)
+
+let test_min_area_empty_and_single () =
+  let empty = mk_inst ~kth:1.0 0 in
+  Alcotest.(check int) "empty" 0 (Layout.num_tracks (Solver.min_area (Rng.create 6) empty));
+  let single = mk_inst ~kth:1.0 1 in
+  let l = Solver.min_area (Rng.create 6) single in
+  Alcotest.(check int) "single net, one track" 1 (Layout.num_tracks l);
+  Alcotest.(check bool) "feasible" true (Layout.feasible l k)
+
+let test_min_area_feasible_random () =
+  (* the solver should reach feasibility across random instances *)
+  let rng = Rng.create 7 in
+  for trial = 1 to 25 do
+    let n = Rng.int_in rng 2 30 in
+    let rate = 0.2 +. Rng.float rng 0.5 in
+    let seed = Rng.int rng 100000 in
+    let kth = Array.init n (fun _ -> 0.15 +. Rng.float rng 1.5) in
+    let inst =
+      Instance.make ~nets:(Array.init n (fun i -> i)) ~kth
+        ~sensitive:(fun i j -> i <> j && Rng.pair_hash ~seed i j < rate)
+    in
+    let l = Solver.min_area (Rng.split rng) inst in
+    Alcotest.(check bool) (Printf.sprintf "trial %d feasible" trial) true
+      (Layout.feasible l k)
+  done
+
+let test_repair_after_tightening () =
+  (* regression for the windowed-scoring bug: repair must re-establish
+     feasibility when one net's bound is tightened *)
+  let rng = Rng.create 8 in
+  let n = 24 in
+  let inst =
+    Instance.make ~nets:(Array.init n (fun i -> i)) ~kth:(Array.make n 2.0)
+      ~sensitive:(fun i j -> i <> j && Rng.pair_hash ~seed:55 i j < 0.5)
+  in
+  let l0 = Solver.min_area rng inst in
+  Alcotest.(check bool) "initial feasible" true (Layout.feasible l0 k);
+  let inst2 = Instance.with_kth inst 7 0.08 in
+  let l1 = Solver.repair ~params:k inst2 l0 in
+  Alcotest.(check bool) "repair feasible" true (Layout.feasible l1 k);
+  Alcotest.(check bool) "net 7 now under bound" true (Layout.k_of l1 k 7 <= 0.08 +. 1e-9)
+
+let test_repair_relaxation_removes () =
+  (* relaxing all bounds lets repair drop the inductive (non-capacitive)
+     shields: kth 0.05 forces double shielding, kth 5.0 needs only the
+     n-1 capacitive separators *)
+  let inst = mk_inst ~kth:0.05 6 in
+  let tight = Solver.min_area (Rng.create 9) inst in
+  let relaxed_inst =
+    Array.fold_left (fun acc i -> Instance.with_kth acc i 5.0) inst
+      (Array.init 6 (fun i -> i))
+  in
+  let relaxed = Solver.repair ~params:k relaxed_inst tight in
+  Alcotest.(check bool) "shields reduced" true
+    (Layout.num_shields relaxed < Layout.num_shields tight);
+  Alcotest.(check bool) "still capacitive-free" true (Layout.cap_violations relaxed = 0)
+
+let test_anneal_improves_or_keeps () =
+  let rng = Rng.create 11 in
+  for trial = 1 to 8 do
+    let n = Rng.int_in rng 6 20 in
+    let seed = Rng.int rng 100000 in
+    let inst =
+      Instance.make ~nets:(Array.init n (fun i -> i))
+        ~kth:(Array.init n (fun _ -> 0.2 +. Rng.float rng 1.0))
+        ~sensitive:(fun i j -> i <> j && Rng.pair_hash ~seed i j < 0.5)
+    in
+    let greedy = Solver.min_area (Rng.split rng) inst in
+    let annealed = Solver.anneal ~moves:1500 (Rng.split rng) inst greedy in
+    Alcotest.(check bool) (Printf.sprintf "trial %d no worse" trial) true
+      (Layout.num_shields annealed <= Layout.num_shields greedy);
+    Alcotest.(check bool) (Printf.sprintf "trial %d stays feasible" trial) true
+      ((not (Layout.feasible greedy k)) || Layout.feasible annealed k)
+  done
+
+let test_anneal_trivial () =
+  let single = mk_inst ~kth:1.0 1 in
+  let l = Solver.min_area (Rng.create 1) single in
+  let l' = Solver.anneal (Rng.create 2) single l in
+  Alcotest.(check int) "single net unchanged" 1 (Layout.num_tracks l')
+
+let test_shields_needed () =
+  let inst = mk_inst ~sensitive:none_sensitive ~kth:5.0 5 in
+  Alcotest.(check int) "zero for easy" 0 (Solver.shields_needed (Rng.create 10) inst)
+
+let test_estimate_features () =
+  let f = Estimate.features ~nns:4 ~s:[| 0.5; 0.5; 1.0; 0.0 |] in
+  Alcotest.(check (float 1e-12)) "sum s2" 1.5 f.(0);
+  Alcotest.(check (float 1e-12)) "sum s2 / n" 0.375 f.(1);
+  Alcotest.(check (float 1e-12)) "sum s" 2.0 f.(2);
+  Alcotest.(check (float 1e-12)) "sum s / n" 0.5 f.(3);
+  Alcotest.(check (float 1e-12)) "n" 4.0 f.(4);
+  Alcotest.(check (float 1e-12)) "const" 1.0 f.(5)
+
+let test_estimate_predict_clamped () =
+  let c = { Estimate.a1 = 0.; a2 = 0.; a3 = 0.; a4 = 0.; a5 = 0.; a6 = -5.0 } in
+  Alcotest.(check (float 1e-12)) "clamped at 0" 0.0
+    (Estimate.predict c ~nns:3 ~s:[| 0.1; 0.1; 0.1 |])
+
+let test_estimate_fit_quality () =
+  (* the paper's Formula (3) regime: fixed Kth, shields ~ density; the
+     aggregate estimate should be within ~10-15% like the tech report *)
+  let kth_of _ = 0.8 in
+  let c = Estimate.fit ~trials:160 ~seed:21 ~kth_of () in
+  let q = Estimate.accuracy ~trials:100 ~seed:22 ~kth_of c in
+  Alcotest.(check bool)
+    (Printf.sprintf "aggregate err %.1f%% <= 15%%" (q.Estimate.aggregate_err *. 100.))
+    true
+    (q.Estimate.aggregate_err <= 0.15);
+  Alcotest.(check bool)
+    (Printf.sprintf "MAE %.2f <= 2.5 shields" q.Estimate.mean_abs_err)
+    true (q.Estimate.mean_abs_err <= 2.5)
+
+let test_estimate_monotone_in_density () =
+  let c = Lazy.force Estimate.default in
+  let lo = Estimate.predict_uniform c ~nns:30 ~rate:0.2 in
+  let hi = Estimate.predict_uniform c ~nns:30 ~rate:0.7 in
+  Alcotest.(check bool) "more sensitivity, more shields" true (hi >= lo)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"min_area layouts are capacitive-crosstalk free" ~count:30
+      (pair (int_range 2 20) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let inst =
+          Instance.make ~nets:(Array.init n (fun i -> i))
+            ~kth:(Array.make n 1.0)
+            ~sensitive:(fun i j -> i <> j && Rng.pair_hash ~seed i j < 0.4)
+        in
+        let l = Solver.min_area (Rng.create seed) inst in
+        Layout.cap_violations l = 0);
+    Test.make ~name:"inserting a shield never increases any K" ~count:30
+      (pair (int_range 2 12) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let inst =
+          Instance.make ~nets:(Array.init n (fun i -> i))
+            ~kth:(Array.make n 1.0)
+            ~sensitive:(fun i j -> i <> j && Rng.pair_hash ~seed i j < 0.6)
+        in
+        let l = Solver.order_only (Rng.create seed) inst in
+        let pos = seed mod (Layout.num_tracks l + 1) in
+        let l2 = Layout.insert_shield l pos in
+        let ok = ref true in
+        for i = 0 to n - 1 do
+          if Layout.k_of l2 k i > Layout.k_of l k i +. 1e-9 then ok := false
+        done;
+        !ok);
+  ]
+
+let suites =
+  [
+    ( "sino.keff",
+      [
+        Alcotest.test_case "decay" `Quick test_keff_decay;
+        Alcotest.test_case "shield block" `Quick test_keff_shield_block;
+        Alcotest.test_case "validation" `Quick test_keff_validation;
+        Alcotest.test_case "max feasible" `Quick test_keff_max_feasible;
+      ] );
+    ( "sino.instance",
+      [
+        Alcotest.test_case "basics" `Quick test_instance_basics;
+        Alcotest.test_case "with_kth" `Quick test_instance_with_kth;
+        Alcotest.test_case "sensitivity fraction" `Quick test_instance_sensitivity_fraction;
+      ] );
+    ( "sino.layout",
+      [
+        Alcotest.test_case "validation" `Quick test_layout_validation;
+        Alcotest.test_case "K hand computed" `Quick test_layout_k_hand_computed;
+        Alcotest.test_case "K with shield" `Quick test_layout_k_with_shield;
+        Alcotest.test_case "non-sensitive ignored" `Quick test_layout_k_nonsensitive_ignored;
+        Alcotest.test_case "capacitive violations" `Quick test_layout_cap_violations;
+        Alcotest.test_case "K violations" `Quick test_layout_k_violations;
+        Alcotest.test_case "edits" `Quick test_layout_edits;
+      ] );
+    ( "sino.solver",
+      [
+        Alcotest.test_case "order_only shape" `Quick test_order_only_no_shields;
+        Alcotest.test_case "order_only adjacency" `Quick test_order_only_avoids_adjacency;
+        Alcotest.test_case "min_area loose" `Quick test_min_area_loose_bounds;
+        Alcotest.test_case "min_area capacitive" `Quick test_min_area_capacitive;
+        Alcotest.test_case "min_area inductive" `Quick test_min_area_inductive;
+        Alcotest.test_case "empty and single" `Quick test_min_area_empty_and_single;
+        Alcotest.test_case "random feasibility" `Quick test_min_area_feasible_random;
+        Alcotest.test_case "repair after tightening" `Quick test_repair_after_tightening;
+        Alcotest.test_case "repair after relaxation" `Quick test_repair_relaxation_removes;
+        Alcotest.test_case "anneal improves or keeps" `Slow test_anneal_improves_or_keeps;
+        Alcotest.test_case "anneal trivial" `Quick test_anneal_trivial;
+        Alcotest.test_case "shields_needed" `Quick test_shields_needed;
+      ] );
+    ( "sino.estimate",
+      [
+        Alcotest.test_case "features" `Quick test_estimate_features;
+        Alcotest.test_case "predict clamped" `Quick test_estimate_predict_clamped;
+        Alcotest.test_case "fit quality" `Slow test_estimate_fit_quality;
+        Alcotest.test_case "monotone in density" `Slow test_estimate_monotone_in_density;
+      ] );
+    ("sino.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+  ]
