@@ -1,0 +1,142 @@
+(* gsino_lint — static analysis of routing solutions.
+
+   Runs one or more flows (on a generated benchmark or a saved netlist
+   file) and audits every result with the Eda_check invariant rules,
+   printing coded GSL diagnostics.  Exit status: 0 when no
+   Error-severity finding fired, 1 otherwise — so CI can gate on it. *)
+open Cmdliner
+open Gsino
+module Generator = Eda_netlist.Generator
+module Sensitivity = Eda_netlist.Sensitivity
+module Diag = Eda_check.Diag
+
+let circuit_arg =
+  let doc = "Benchmark circuit (ibm01..ibm06)." in
+  Arg.(value & opt string "ibm01" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let scale_arg =
+  let doc = "Instance scale in (0,1]." in
+  Arg.(value & opt float 0.02 & info [ "s"; "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for placement, sensitivity and heuristics." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Sensitivity rate." in
+  Arg.(value & opt float 0.30 & info [ "r"; "rate" ] ~docv:"R" ~doc)
+
+let router_arg =
+  let doc = "Global router: 'id' or 'nc'." in
+  Arg.(value
+     & opt (enum [ ("id", Flow.Iterative_deletion); ("nc", Flow.Negotiated) ])
+         Flow.Iterative_deletion
+     & info [ "router" ] ~docv:"ENGINE" ~doc)
+
+let budgeting_arg =
+  let doc = "Crosstalk budgeting: 'uniform' or 'route-aware'." in
+  Arg.(value
+     & opt (enum [ ("uniform", Flow.Uniform); ("route-aware", Flow.Route_aware) ])
+         Flow.Uniform
+     & info [ "budgeting" ] ~docv:"MODE" ~doc)
+
+let netlist_file_arg =
+  let doc = "Audit FILE (gsino-netlist v1) instead of a generated circuit." in
+  Arg.(value & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc)
+
+let kind_arg =
+  let doc =
+    "Flow to audit: 'id-no', 'isino', 'gsino', or 'all' (runs all three)."
+  in
+  Arg.(value
+     & opt
+         (enum
+            [
+              ("id-no", [ Flow.Id_no ]);
+              ("isino", [ Flow.Isino ]);
+              ("gsino", [ Flow.Gsino ]);
+              ("all", [ Flow.Id_no; Flow.Isino; Flow.Gsino ]);
+            ])
+         [ Flow.Gsino ]
+     & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+
+let pretty_arg =
+  let doc = "Human-readable diagnostics instead of machine one-liners." in
+  Arg.(value & flag & info [ "pretty" ] ~doc)
+
+let max_print_arg =
+  let doc = "Print at most $(docv) diagnostics per flow (0 = unlimited)." in
+  Arg.(value & opt int 50 & info [ "max-print" ] ~docv:"N" ~doc)
+
+let errors_only_arg =
+  let doc = "Only print Error-severity diagnostics." in
+  Arg.(value & flag & info [ "e"; "errors-only" ] ~doc)
+
+let lint circuit scale seed rate router budgeting netlist_file kinds pretty
+    max_print errors_only =
+  let tech = Tech.default in
+  let netlist =
+    match netlist_file with
+    | Some file -> (
+        try Eda_netlist.Io.load file
+        with Sys_error msg | Failure msg | Invalid_argument msg ->
+          Format.eprintf "cannot load netlist %s: %s@." file msg;
+          exit 2)
+    | None -> (
+        match Generator.find_ibm circuit with
+        | Some p -> Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed p
+        | None ->
+            Format.eprintf "unknown circuit %s (expected ibm01..ibm06)@." circuit;
+            exit 2)
+  in
+  let grid, base = Flow.prepare ~router tech netlist in
+  let sensitivity = Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
+  let lint_one kind =
+    let r =
+      Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid ~base netlist kind
+    in
+    let diags = Flow.check ~tech r in
+    let shown =
+      List.filter
+        (fun d -> (not errors_only) || d.Diag.severity = Diag.Error)
+        diags
+    in
+    let n_shown = List.length shown in
+    List.iteri
+      (fun i d ->
+        if max_print <= 0 || i < max_print then
+          if pretty then Format.printf "%a@." Diag.pp d
+          else print_endline (Diag.to_line d))
+      shown;
+    if max_print > 0 && n_shown > max_print then
+      Format.printf "... %d more diagnostics suppressed (--max-print)@."
+        (n_shown - max_print);
+    Format.printf "gsino_lint: %s on %s: %a@." (Flow.kind_name kind)
+      netlist.Eda_netlist.Netlist.name Diag.pp_summary diags;
+    diags
+  in
+  let all = List.concat_map lint_one kinds in
+  if Diag.has_errors all then 1 else 0
+
+let cmd =
+  let doc = "Check routing-solution invariants and report coded diagnostics" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Runs a GSINO flow and statically checks the resulting routing \
+         solution: routes on-grid, connected and acyclic; track and shield \
+         accounting consistent; Phase-I Kth bounds partitioned from the LSK \
+         budget; SINO panels covering every occupied region.  Findings are \
+         printed one per line as '$(b,GSL)NNNN E|W|I locus message'.";
+      `P "Exits 0 when no Error-severity diagnostic fired, 1 otherwise.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "gsino_lint" ~version:"1.0.0" ~doc ~man)
+    Term.(
+      const lint $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ router_arg
+      $ budgeting_arg $ netlist_file_arg $ kind_arg $ pretty_arg
+      $ max_print_arg $ errors_only_arg)
+
+let () = exit (Cmd.eval' cmd)

@@ -83,6 +83,19 @@ let run_cmd =
         | Some s ->
             Format.printf "%s %a@." (Flow.kind_name r.Flow.kind) Refine.pp_stats s
         | None -> ())
+      flows;
+    (* self-audit: every flow run is checked against the GSL invariant
+       rules; errors are printed in full, the rest summarized *)
+    List.iter
+      (fun r ->
+        let diags = Flow.check ~tech r in
+        Format.printf "%s lint: %a@." (Flow.kind_name r.Flow.kind)
+          Eda_check.Diag.pp_summary diags;
+        List.iter
+          (fun d ->
+            if d.Eda_check.Diag.severity = Eda_check.Diag.Error then
+              Format.printf "  %s@." (Eda_check.Diag.to_line d))
+          diags)
       flows
   in
   let doc = "Run ID+NO, iSINO and GSINO on one circuit at one sensitivity rate." in
@@ -134,9 +147,9 @@ let suite_cmd =
       | names -> List.map profile_of_name names
     in
     let suite = Report.run_suite ~profiles ~scale ~seed () in
-    Format.printf "%a@.%a@.%a@.%a@.%a@." Report.table1 suite Report.table2 suite
-      Report.table3 suite Report.violations_summary suite Report.timing_summary
-      suite
+    Format.printf "%a@.%a@.%a@.%a@.%a@.%a@." Report.table1 suite Report.table2
+      suite Report.table3 suite Report.violations_summary suite
+      Report.timing_summary suite Report.lint_summary suite
   in
   let circuits_arg =
     let doc = "Circuits to include (default: all six)." in

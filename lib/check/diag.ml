@@ -1,0 +1,78 @@
+module Dir = Eda_grid.Dir
+
+type severity = Error | Warning | Info
+
+type locus =
+  | Global
+  | Net of int
+  | Region of int * Dir.t
+
+type t = { code : int; severity : severity; locus : locus; message : string }
+
+let sanitize msg =
+  String.map (function '\n' | '\r' -> ' ' | c -> c) msg
+
+let make ~code severity ?(locus = Global) message =
+  if code < 1 || code > 9999 then invalid_arg "Diag.make: code out of range";
+  { code; severity; locus; message = sanitize message }
+
+let makef ~code severity ?locus fmt =
+  Format.kasprintf (fun message -> make ~code severity ?locus message) fmt
+
+let code_string code = Printf.sprintf "GSL%04d" code
+
+let severity_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_letter = function Error -> 'E' | Warning -> 'W' | Info -> 'I'
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let compare_severity a b = compare (severity_rank a) (severity_rank b)
+
+let locus_string = function
+  | Global -> "-"
+  | Net n -> Printf.sprintf "net=%d" n
+  | Region (r, d) -> Printf.sprintf "region=%d/%s" r (Dir.to_string d)
+
+let to_line t =
+  Printf.sprintf "%s %c %s %s" (code_string t.code)
+    (severity_letter t.severity) (locus_string t.locus) t.message
+
+let pp fmt t =
+  let locus =
+    match t.locus with
+    | Global -> ""
+    | Net n -> Printf.sprintf " net %d:" n
+    | Region (r, d) -> Printf.sprintf " region %d/%s:" r (Dir.to_string d)
+  in
+  Format.fprintf fmt "%s[%s]%s %s" (severity_string t.severity)
+    (code_string t.code) locus t.message
+
+let count sev diags =
+  List.length (List.filter (fun d -> d.severity = sev) diags)
+
+let has_errors diags = List.exists (fun d -> d.severity = Error) diags
+
+let locus_key = function
+  | Global -> (0, 0, 0)
+  | Net n -> (1, n, 0)
+  | Region (r, d) -> (2, r, match d with Dir.H -> 0 | Dir.V -> 1)
+
+let sort diags =
+  List.stable_sort
+    (fun a b ->
+      let c = compare_severity a.severity b.severity in
+      if c <> 0 then c
+      else
+        let c = compare a.code b.code in
+        if c <> 0 then c else compare (locus_key a.locus) (locus_key b.locus))
+    diags
+
+let plural n = if n = 1 then "" else "s"
+
+let pp_summary fmt diags =
+  let e = count Error diags and w = count Warning diags and i = count Info diags in
+  Format.fprintf fmt "%d error%s, %d warning%s, %d info" e (plural e) w
+    (plural w) i

@@ -1,0 +1,57 @@
+(** Coded diagnostics for routing-solution static analysis.
+
+    Every finding carries a stable numeric code (rendered ["GSL0005"]), a
+    severity, a locus (which net or region it concerns), and a message.
+    Codes are append-only: a code never changes meaning once released, so
+    scripts and CI greps can match on them (cf. OpenROAD's [GRT NNNN]
+    catalog).  The catalog itself lives in {!Checker.rules} and is
+    documented in the README. *)
+
+type severity = Error | Warning | Info
+
+(** Where the finding applies. *)
+type locus =
+  | Global  (** the whole solution *)
+  | Net of int  (** one signal net *)
+  | Region of int * Eda_grid.Dir.t  (** one routing region and direction *)
+
+type t = { code : int; severity : severity; locus : locus; message : string }
+
+(** [make ~code severity ?locus msg] — [locus] defaults to [Global]. *)
+val make : code:int -> severity -> ?locus:locus -> string -> t
+
+(** [makef ~code severity ?locus fmt ...] — formatted constructor. *)
+val makef :
+  code:int ->
+  severity ->
+  ?locus:locus ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+
+(** ["GSL0005"] — the stable rendering of code 5. *)
+val code_string : int -> string
+
+val severity_string : severity -> string
+
+(** Severity comparison: [Error] is most severe. *)
+val compare_severity : severity -> severity -> int
+
+(** Machine-readable one-line form:
+    [GSL0005 W region=17/H over capacity: used 9 of 8 tracks].
+    Locus renders as [-] (global), [net=12], or [region=17/H]; the message
+    never contains a newline, so one diagnostic is always one line. *)
+val to_line : t -> string
+
+(** Human pretty form: [warning[GSL0005] region 17/H: over capacity ...]. *)
+val pp : Format.formatter -> t -> unit
+
+(** [count sev diags] — how many findings at exactly [sev]. *)
+val count : severity -> t list -> int
+
+val has_errors : t list -> bool
+
+(** Sort by severity (errors first), then code, then locus. *)
+val sort : t list -> t list
+
+(** ["3 errors, 1 warning, 0 info"]. *)
+val pp_summary : Format.formatter -> t list -> unit

@@ -83,7 +83,7 @@ let build spec drive roles =
       let near = nodes.(w).(0) and far = nodes.(w).(m) in
       match role with
       | Aggressor | Opposing ->
-          let v1 = match role with Opposing -> -.drive.vdd | _ -> drive.vdd in
+          let v1 = if role = Opposing then -.drive.vdd else drive.vdd in
           let d = Mna.node c in
           ignore
             (Mna.vsource c d Mna.ground

@@ -72,7 +72,11 @@ let inductance_matrix c =
   let n = max 1 c.n_l in
   let m = M.create n n in
   let self = Array.make n 0.0 in
-  List.iter (function L (_, _, l, i) -> self.(i) <- l | _ -> ()) (elements c);
+  List.iter
+    (function
+      | L (_, _, l, i) -> self.(i) <- l
+      | R _ | C _ | K _ | V _ -> ())
+    (elements c);
   List.iter
     (function
       | L (_, _, l, i) -> M.set m i i l

@@ -13,7 +13,7 @@ let run c ~dt ~t_end ~probes =
       | Mna.V (_, _, w, _) ->
           if Float.abs (Waveform.initial w) > 1e-12 then
             invalid_arg "Transient.run: sources must start at 0"
-      | _ -> ())
+      | Mna.R _ | Mna.C _ | Mna.L _ | Mna.K _ -> ())
     elems;
   let n_nodes = Mna.num_nodes c in
   let n_l = Mna.num_inductors c in
@@ -36,7 +36,11 @@ let run c ~dt ~t_end ~probes =
   let two_over_h = 2.0 /. dt in
   (* capacitor bookkeeping for companion-model state *)
   let caps =
-    List.filter_map (function Mna.C (x, y, v) -> Some (x, y, v) | _ -> None) elems
+    List.filter_map
+      (function
+        | Mna.C (x, y, v) -> Some (x, y, v)
+        | Mna.R _ | Mna.L _ | Mna.K _ | Mna.V _ -> None)
+      elems
   in
   let n_c = List.length caps in
   let cap_arr = Array.of_list caps in

@@ -30,9 +30,9 @@ type result = {
 }
 
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Unix.gettimeofday () in
   let v = f () in
-  (v, Sys.time () -. t0)
+  (v, Unix.gettimeofday () -. t0)
 
 type router = Iterative_deletion | Negotiated
 
@@ -53,10 +53,11 @@ let base_routes ?(router = Iterative_deletion) tech grid netlist =
   route_with router tech grid netlist Id_router.No_shields
 
 let demand_quantile usage grid q dir =
-  let n = Grid.num_regions grid in
-  let a = Array.init n (fun r -> Usage.nns usage r dir) in
-  Array.sort compare a;
-  a.(min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1)))))
+  (* Stats.quantile_int returns 0 on an empty sample, so a zero-region
+     grid yields capacity 0 instead of indexing a.(-1). *)
+  Eda_util.Stats.quantile_int
+    (Array.init (Grid.num_regions grid) (fun r -> Usage.nns usage r dir))
+    q
 
 let prepare ?(cap_quantile = 0.90) ?(router = Iterative_deletion) tech netlist =
   (* Pass 1: route with loose auto-capacities to observe regional demand.
@@ -164,6 +165,47 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     sino_s;
     refine_s;
   }
+
+let check ?(tech = Tech.default) r =
+  let module Checker = Eda_check.Checker in
+  let keff = Phase2.keff r.phase2 in
+  let panels = ref [] in
+  Phase2.iter r.phase2 (fun (region, dir) s ->
+      let nets = Array.of_seq (Hashtbl.to_seq_keys s.Phase2.k) in
+      Array.sort compare nets;
+      panels :=
+        {
+          Checker.region;
+          dir;
+          shields = Eda_sino.Layout.num_shields s.Phase2.layout;
+          nets;
+          feasible = Eda_sino.Layout.feasible s.Phase2.layout keff;
+        }
+        :: !panels);
+  let row, col, area = r.area in
+  Checker.run
+    {
+      Checker.netlist = r.netlist;
+      grid = r.grid;
+      routes = r.routes;
+      lsk_budget = r.budget.Budget.lsk_budget;
+      kth = r.budget.Budget.kth;
+      lsk_table = (Tech.lsk_model tech).Eda_lsk.Lsk.table;
+      sensitive = Sensitivity.sensitive r.sensitivity;
+      usage = r.usage;
+      panels = !panels;
+      total_shields = r.shields;
+      violations = r.violations;
+      bound_v = tech.Tech.noise_bound_v;
+      metrics =
+        [
+          ("avg_wl_um", r.avg_wl_um);
+          ("total_wl_um", r.total_wl_um);
+          ("area_row_um", row);
+          ("area_col_um", col);
+          ("area_um2", area);
+        ];
+    }
 
 let violation_count r = List.length r.violations
 

@@ -46,9 +46,9 @@ type result = {
   total_wl_um : float;
   area : float * float * float;  (** max row, max col, product (µm, µm, µm²) *)
   shields : int;
-  route_s : float;  (** CPU seconds in global routing *)
-  sino_s : float;  (** CPU seconds in Phase II *)
-  refine_s : float;  (** CPU seconds in Phase III *)
+  route_s : float;  (** wall-clock seconds in global routing *)
+  sino_s : float;  (** wall-clock seconds in Phase II *)
+  refine_s : float;  (** wall-clock seconds in Phase III *)
 }
 
 (** [base_routes ?router tech grid netlist] — conventional routing, no
@@ -59,6 +59,12 @@ val base_routes :
   Eda_grid.Grid.t ->
   Eda_netlist.Netlist.t ->
   Eda_grid.Route.t array
+
+(** [demand_quantile usage grid q dir] — the [q]-quantile ([0..1]) of
+    per-region net-track demand in direction [dir]; 0 on a grid with no
+    regions.  {!prepare} clamps capacities at this value. *)
+val demand_quantile :
+  Eda_grid.Usage.t -> Eda_grid.Grid.t -> float -> Eda_grid.Dir.t -> int
 
 (** [prepare tech netlist] — the shared experimental setup: route the
     conventional (no-shield) flow on auto-provisioned capacities, then
@@ -89,6 +95,14 @@ val run :
   Eda_netlist.Netlist.t ->
   kind ->
   result
+
+(** [check ?tech r] — static analysis of the finished flow: run every
+    {!Eda_check.Checker} invariant rule against the solution and return
+    the coded findings, sorted errors-first.  [tech] (default
+    {!Tech.default}) supplies the LSK table and noise bound the run used.
+    A healthy refined flow yields no [Error]-severity findings; the
+    [gsino_lint] binary turns that into an exit code. *)
+val check : ?tech:Tech.t -> result -> Eda_check.Diag.t list
 
 (** [violation_count r] / [violation_pct r] — Table 1's metrics. *)
 val violation_count : result -> int

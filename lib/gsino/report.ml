@@ -185,9 +185,25 @@ let violations_summary fmt suite =
       Format.fprintf fmt "@\n")
     suite.runs
 
+let lint_summary fmt suite =
+  Format.fprintf fmt
+    "Lint: coded diagnostics per flow (Eda_check rules GSL0001-..)@\n";
+  List.iter
+    (fun r ->
+      let cell res =
+        let diags = Flow.check res in
+        Printf.sprintf "%dE/%dW"
+          (Eda_check.Diag.count Eda_check.Diag.Error diags)
+          (Eda_check.Diag.count Eda_check.Diag.Warning diags)
+      in
+      Format.fprintf fmt "  %-6s rate %.0f%%: ID+NO %s  iSINO %s  GSINO %s@\n"
+        r.profile.Generator.name (r.rate *. 100.) (cell r.idno) (cell r.isino)
+        (cell r.gsino))
+    suite.runs
+
 let timing_summary fmt suite =
   Format.fprintf fmt
-    "CPU time per phase, seconds (paper: ID routing dominates)@\n";
+    "Wall-clock time per phase, seconds (paper: ID routing dominates)@\n";
   List.iter
     (fun r ->
       Format.fprintf fmt

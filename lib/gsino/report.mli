@@ -63,5 +63,10 @@ val table3 : Format.formatter -> suite -> unit
     zero for both) and Phase III statistics. *)
 val violations_summary : Format.formatter -> suite -> unit
 
-(** Per-phase CPU time; the paper notes ID routing dominates (§5). *)
+(** Self-audit: run {!Flow.check} on every flow of every run and print
+    the error/warning counts, so the suite output always carries the
+    static-analysis verdict alongside the paper tables. *)
+val lint_summary : Format.formatter -> suite -> unit
+
+(** Per-phase wall-clock time; the paper notes ID routing dominates (§5). *)
 val timing_summary : Format.formatter -> suite -> unit

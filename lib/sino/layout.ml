@@ -65,7 +65,7 @@ let cap_violations t =
   for q = 0 to n - 2 do
     match (t.slots.(q), t.slots.(q + 1)) with
     | Net i, Net j when Instance.sens t.inst i j -> incr cnt
-    | _ -> ()
+    | (Net _ | Shield), (Net _ | Shield) -> ()
   done;
   !cnt
 

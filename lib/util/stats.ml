@@ -43,6 +43,15 @@ let percentile a p =
   let frac = rank -. float_of_int lo in
   s.(lo) +. (frac *. (s.(hi) -. s.(lo)))
 
+let quantile_int a q =
+  let n = Array.length a in
+  if n = 0 then 0
+  else begin
+    let s = Array.copy a in
+    Array.sort compare s;
+    s.(max 0 (min (n - 1) (int_of_float (Float.round (q *. float_of_int (n - 1))))))
+  end
+
 let mean_int a =
   check_nonempty "Stats.mean_int" a;
   float_of_int (Array.fold_left ( + ) 0 a) /. float_of_int (Array.length a)

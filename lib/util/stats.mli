@@ -21,6 +21,12 @@ val percentile : float array -> float -> float
 (** [mean_int a] is the mean of an integer array as a float. *)
 val mean_int : int array -> float
 
+(** [quantile_int a q] is the [q]-quantile ([0. <= q <= 1.]) of an integer
+    sample by nearest rank on the sorted data; 0 on an empty array (unlike
+    {!percentile}, which raises — callers use this on per-region demand
+    histograms that may legitimately be empty). *)
+val quantile_int : int array -> float -> int
+
 (** [ratio_pct x base] is [(x - base) / base * 100.]; the overhead
     percentage format used in the paper's Tables 2 and 3. *)
 val ratio_pct : float -> float -> float

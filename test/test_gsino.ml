@@ -419,6 +419,14 @@ let test_prepare_cap_quantile () =
     (cap g_tight Dir.H <= cap g_loose Dir.H
     && cap g_tight Dir.V <= cap g_loose Dir.V)
 
+let test_demand_quantile () =
+  let grid = Grid.make ~w:2 ~h:1 ~hcap:8 ~vcap:8 in
+  let route = Route.of_edges grid ~net:0 [ Grid.edge_id grid (p 0 0) Dir.H ] in
+  let usage = Usage.of_routes grid ~gcell_um:100.0 [ route ] in
+  (* both regions hold one H track, no V tracks *)
+  Alcotest.(check int) "H demand" 1 (Flow.demand_quantile usage grid 0.9 Dir.H);
+  Alcotest.(check int) "V demand" 0 (Flow.demand_quantile usage grid 0.9 Dir.V)
+
 let test_lsk_model_cached () =
   let m1 = Tech.lsk_model Tech.default in
   let m2 = Tech.lsk_model Tech.default in
@@ -488,6 +496,7 @@ let suites =
       [
         Alcotest.test_case "gamma matters" `Quick test_weights_gamma_matters;
         Alcotest.test_case "prepare cap quantile" `Slow test_prepare_cap_quantile;
+        Alcotest.test_case "demand quantile" `Quick test_demand_quantile;
         Alcotest.test_case "lsk model cached" `Slow test_lsk_model_cached;
         Alcotest.test_case "run_circuit shares setup" `Slow
           test_report_run_circuit_shares_setup;

@@ -12,6 +12,7 @@ let () =
          Test_sino.suites;
          Test_lsk.suites;
          Test_gsino.suites;
+         Test_check.suites;
          Test_extensions.suites;
          Test_refine.suites;
        ])

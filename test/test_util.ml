@@ -190,6 +190,17 @@ let test_stats_max_rel_err () =
 
 let test_stats_mean_int () = check_float "mean_int" 2.0 (Stats.mean_int [| 1; 2; 3 |])
 
+let test_stats_quantile_int () =
+  Alcotest.(check int) "median" 3 (Stats.quantile_int [| 5; 1; 3; 2; 4 |] 0.5);
+  Alcotest.(check int) "q0 is min" 1 (Stats.quantile_int [| 5; 1; 3 |] 0.0);
+  Alcotest.(check int) "q1 is max" 5 (Stats.quantile_int [| 5; 1; 3 |] 1.0);
+  Alcotest.(check int) "singleton" 7 (Stats.quantile_int [| 7 |] 0.9)
+
+let test_stats_quantile_int_empty () =
+  (* regression: an empty sample (zero-region grid) must yield 0, not
+     index a.(-1) *)
+  Alcotest.(check int) "empty is 0" 0 (Stats.quantile_int [||] 0.9)
+
 (* ---------------------------- Matrix ------------------------------- *)
 
 let test_matrix_identity_mul () =
@@ -480,6 +491,8 @@ let suites =
         Alcotest.test_case "r_squared" `Quick test_stats_r_squared;
         Alcotest.test_case "max_rel_err" `Quick test_stats_max_rel_err;
         Alcotest.test_case "mean_int" `Quick test_stats_mean_int;
+        Alcotest.test_case "quantile_int" `Quick test_stats_quantile_int;
+        Alcotest.test_case "quantile_int empty" `Quick test_stats_quantile_int_empty;
       ] );
     ( "util.matrix",
       [
