@@ -23,6 +23,7 @@ module Generator = Eda_netlist.Generator
 module Keff = Eda_sino.Keff
 module Estimate = Eda_sino.Estimate
 module Table_builder = Eda_lsk.Table_builder
+module Metrics = Eda_obs.Metrics
 
 let getenv_f name default =
   match Sys.getenv_opt name with Some v -> float_of_string v | None -> default
@@ -47,11 +48,30 @@ let section name = Format.printf "@.=== %s ===@." name
 
 (* ------------------------- Tables 1-3 ------------------------------ *)
 
+(* Per-stage wall time accumulated by the Flow instrumentation — the
+   same numbers a --metrics run exports, so the bench and the CLI can
+   never disagree about where the time went. *)
+let stage_seconds snap phase =
+  match Metrics.find ~labels:[ ("phase", phase) ] snap "flow.phase_seconds" with
+  | Some (Metrics.Gauge s) -> s
+  | Some (Metrics.Counter _ | Metrics.Histogram _) | None -> 0.0
+
+let print_stage_durations () =
+  let snap = Metrics.snapshot () in
+  let route = stage_seconds snap "route"
+  and sino = stage_seconds snap "sino"
+  and refine = stage_seconds snap "refine" in
+  Format.printf
+    "  stage seconds (Metrics snapshot, %d flow runs): route %.1f | sino %.1f \
+     | refine %.1f | total %.1f@."
+    (Metrics.counter_total snap "flow.runs")
+    route sino refine
+    (route +. sino +. refine)
+
 let run_tables () =
   Format.printf
     "GSINO reproduction benchmark: scale %.2f, seed %d, %d circuits@." scale
     seed (List.length profiles);
-  let t0 = Sys.time () in
   let suite = Report.run_suite ~profiles ~scale ~seed () in
   section "table1 (crosstalk-violating nets in ID+NO)";
   Format.printf "%a" Report.table1 suite;
@@ -63,7 +83,7 @@ let run_tables () =
   Format.printf "%a" Report.violations_summary suite;
   section "phase timing per circuit";
   Format.printf "%a" Report.timing_summary suite;
-  Format.printf "@.suite CPU time: %.1f s@." (Sys.time () -. t0)
+  print_stage_durations ()
 
 (* -------------------- V1: LSK model fidelity ------------------------ *)
 
@@ -354,4 +374,15 @@ let () =
   run_ablations ();
   run_solver_ablation ();
   run_bechamel ();
+  section "timings (per-stage totals across the whole benchmark)";
+  print_stage_durations ();
+  (* machine-readable counterpart: the whole registry as
+     gsino-metrics-v1 JSON, for trajectory tracking across commits *)
+  let metrics_file =
+    match Sys.getenv_opt "GSINO_BENCH_METRICS" with
+    | Some f -> f
+    | None -> "BENCH_METRICS.json"
+  in
+  Metrics.write_json metrics_file (Metrics.snapshot ());
+  Format.printf "metrics blob: %s@." metrics_file;
   Format.printf "@.done.@."

@@ -9,6 +9,9 @@ open Gsino
 module Generator = Eda_netlist.Generator
 module Sensitivity = Eda_netlist.Sensitivity
 module Diag = Eda_check.Diag
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+module Log = Eda_obs.Log
 
 let circuit_arg =
   let doc = "Benchmark circuit (ibm01..ibm06)." in
@@ -72,8 +75,47 @@ let errors_only_arg =
   let doc = "Only print Error-severity diagnostics." in
   Arg.(value & flag & info [ "e"; "errors-only" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record spans of the audited flows and write Chrome-trace JSON to \
+     $(docv) (chrome://tracing / Perfetto)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Write the metrics registry (gsino-metrics-v1 JSON) to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Verbose logging (level debug; overrides GSINO_LOG)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let quiet_arg =
+  let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
 let lint circuit scale seed rate router budgeting netlist_file kinds pretty
-    max_print errors_only =
+    max_print errors_only trace metrics verbose quiet =
+  if quiet then Log.set_level Log.Quiet
+  else if verbose then Log.set_level (Log.Level Log.Debug);
+  (match trace with Some _ -> Trace.enable () | None -> ());
+  let flush_obs () =
+    (match trace with Some file -> Trace.write_chrome file | None -> ());
+    match metrics with
+    | Some file -> Metrics.write_json file (Metrics.snapshot ())
+    | None -> ()
+  in
+  Fun.protect ~finally:flush_obs @@ fun () ->
+  (* disconnected grid: report through the lint channel, not an uncaught
+     exception *)
+  (fun body ->
+    try body ()
+    with Nc_router.Unreachable { net; region } ->
+      let d = Nc_router.unreachable_diag ~net ~region in
+      if pretty then Format.printf "%a@." Diag.pp d
+      else print_endline (Diag.to_line d);
+      exit 2)
+  @@ fun () ->
   let tech = Tech.default in
   let netlist =
     match netlist_file with
@@ -137,6 +179,7 @@ let cmd =
     Term.(
       const lint $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ router_arg
       $ budgeting_arg $ netlist_file_arg $ kind_arg $ pretty_arg
-      $ max_print_arg $ errors_only_arg)
+      $ max_print_arg $ errors_only_arg $ trace_arg $ metrics_arg
+      $ verbose_arg $ quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,54 @@
 open Cmdliner
 open Gsino
 module Generator = Eda_netlist.Generator
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+module Log = Eda_obs.Log
+
+(* ---------------- observability plumbing (shared by subcommands) ----- *)
+
+let trace_arg =
+  let doc =
+    "Record spans of the whole run and write a Chrome-trace JSON file to \
+     $(docv) on exit (load it in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the metrics registry (gsino-metrics-v1 JSON: per-phase counters, \
+     gauges and histograms) to $(docv) on exit."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Verbose logging (level debug; overrides GSINO_LOG)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let quiet_arg =
+  let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+(* Apply -v/-q, enable tracing when requested, run [f], then flush the
+   trace/metrics files even if [f] raises.  A disconnected-grid failure
+   from the negotiated router surfaces as a GSL0017 diagnostic and exit
+   code 2 instead of an uncaught exception. *)
+let with_obs ~trace ~metrics ~verbose ~quiet f =
+  if quiet then Log.set_level Log.Quiet
+  else if verbose then Log.set_level (Log.Level Log.Debug);
+  (match trace with Some _ -> Trace.enable () | None -> ());
+  let finish () =
+    (match trace with Some file -> Trace.write_chrome file | None -> ());
+    match metrics with
+    | Some file -> Metrics.write_json file (Metrics.snapshot ())
+    | None -> ()
+  in
+  Fun.protect ~finally:finish (fun () ->
+      try f ()
+      with Nc_router.Unreachable { net; region } ->
+        print_endline
+          (Eda_check.Diag.to_line (Nc_router.unreachable_diag ~net ~region));
+        exit 2)
 
 let circuit_arg =
   let doc = "Benchmark circuit (ibm01..ibm06)." in
@@ -62,7 +110,9 @@ let netlist_of tech circuit scale seed = function
         (profile_of_name circuit)
 
 let run_cmd =
-  let run circuit scale seed rate router budgeting netlist_file =
+  let run circuit scale seed rate router budgeting netlist_file trace metrics
+      verbose quiet =
+    with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let tech = Tech.default in
     let netlist = netlist_of tech circuit scale seed netlist_file in
     Format.printf "%a@." Eda_netlist.Netlist.pp_summary netlist;
@@ -96,12 +146,14 @@ let run_cmd =
             if d.Eda_check.Diag.severity = Eda_check.Diag.Error then
               Format.printf "  %s@." (Eda_check.Diag.to_line d))
           diags)
-      flows
+      flows;
+    Format.printf "@.%a" Report.metrics_summary (Metrics.snapshot ())
   in
   let doc = "Run ID+NO, iSINO and GSINO on one circuit at one sensitivity rate." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ router_arg
-          $ budgeting_arg $ netlist_file_arg)
+          $ budgeting_arg $ netlist_file_arg $ trace_arg $ metrics_arg
+          $ verbose_arg $ quiet_arg)
 
 let map_cmd =
   let run circuit scale seed rate netlist_file =
@@ -140,16 +192,18 @@ let gen_cmd =
     Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ out_arg)
 
 let suite_cmd =
-  let run scale seed circuits =
+  let run scale seed circuits trace metrics verbose quiet =
+    with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let profiles =
       match circuits with
       | [] -> Generator.all_ibm
       | names -> List.map profile_of_name names
     in
     let suite = Report.run_suite ~profiles ~scale ~seed () in
-    Format.printf "%a@.%a@.%a@.%a@.%a@.%a@." Report.table1 suite Report.table2
-      suite Report.table3 suite Report.violations_summary suite
+    Format.printf "%a@.%a@.%a@.%a@.%a@.%a@.%a@." Report.table1 suite
+      Report.table2 suite Report.table3 suite Report.violations_summary suite
       Report.timing_summary suite Report.lint_summary suite
+      Report.metrics_summary (Metrics.snapshot ())
   in
   let circuits_arg =
     let doc = "Circuits to include (default: all six)." in
@@ -157,7 +211,8 @@ let suite_cmd =
   in
   let doc = "Reproduce the paper's Tables 1-3 (both sensitivity rates)." in
   Cmd.v (Cmd.info "suite" ~doc)
-    Term.(const run $ scale_arg $ seed_arg $ circuits_arg)
+    Term.(const run $ scale_arg $ seed_arg $ circuits_arg $ trace_arg
+          $ metrics_arg $ verbose_arg $ quiet_arg)
 
 let table_cmd =
   let run () =

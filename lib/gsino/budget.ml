@@ -1,7 +1,20 @@
 module Rng = Eda_util.Rng
+module Metrics = Eda_obs.Metrics
 open Eda_netlist
 
 type t = { lsk_budget : float; kth : float array }
+
+(* Phase-I partition statistics: the Kth distribution is the paper's
+   Formula (1)/(2) input, so record it per budgeting call *)
+let m_partitions = Metrics.counter "budget.partitions"
+let g_lsk = Metrics.gauge "budget.lsk_um_k"
+let h_kth = Metrics.histogram "budget.kth"
+
+let record t =
+  Metrics.incr m_partitions;
+  Metrics.set g_lsk t.lsk_budget;
+  Array.iter (fun k -> Metrics.observe h_kth k) t.kth;
+  t
 
 let uniform ~lsk ~noise_v ~gcell_um netlist =
   let budget = Eda_lsk.Lsk.lsk_bound lsk ~noise:noise_v in
@@ -17,7 +30,7 @@ let uniform ~lsk ~noise_v ~gcell_um netlist =
         budget /. (float_of_int far *. gcell_um))
       netlist.Netlist.nets
   in
-  { lsk_budget = budget; kth }
+  record { lsk_budget = budget; kth }
 
 let route_aware ~lsk ~noise_v ~gcell_um ~grid ~routes netlist =
   let budget = Eda_lsk.Lsk.lsk_bound lsk ~noise:noise_v in
@@ -43,7 +56,7 @@ let route_aware ~lsk ~noise_v ~gcell_um ~grid ~routes netlist =
         budget /. (float_of_int far *. gcell_um))
       netlist.Netlist.nets
   in
-  { lsk_budget = budget; kth }
+  record { lsk_budget = budget; kth }
 
 let kth t net =
   if net < 0 || net >= Array.length t.kth then invalid_arg "Budget.kth: bad net";

@@ -4,6 +4,9 @@ module Usage = Eda_grid.Usage
 module Netlist = Eda_netlist.Netlist
 module Sensitivity = Eda_netlist.Sensitivity
 module Estimate = Eda_sino.Estimate
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+module Log = Eda_obs.Log
 
 type kind = Id_no | Isino | Gsino
 
@@ -29,10 +32,13 @@ type result = {
   refine_s : float;
 }
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+(* cumulative wall-clock per phase across every run of the process, so a
+   suite/bench sees one per-phase total in the metrics snapshot *)
+let m_phase_s phase = Metrics.gauge ~labels:[ ("phase", phase) ] "flow.phase_seconds"
+let m_route_s = m_phase_s "route"
+let m_sino_s = m_phase_s "sino"
+let m_refine_s = m_phase_s "refine"
+let m_runs = Metrics.counter "flow.runs"
 
 type router = Iterative_deletion | Negotiated
 
@@ -60,6 +66,9 @@ let demand_quantile usage grid q dir =
     q
 
 let prepare ?(cap_quantile = 0.90) ?(router = Iterative_deletion) tech netlist =
+  Trace.span_args "flow:prepare"
+    [ ("circuit", netlist.Netlist.name) ]
+  @@ fun () ->
   (* Pass 1: route with loose auto-capacities to observe regional demand.
      Pass 2: clamp the capacities near the top of that demand and
      re-route, so the conventional router is balancing right at the edge
@@ -83,6 +92,10 @@ type budgeting = Uniform | Route_aware
 
 let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     ?(budgeting = Uniform) ?grid ?base netlist kind =
+  Metrics.incr m_runs;
+  Trace.span_args "flow:run"
+    [ ("kind", kind_name kind); ("circuit", netlist.Netlist.name) ]
+  @@ fun () ->
   let grid = match grid with Some g -> g | None -> Tech.grid_for tech netlist in
   let lsk_model = Tech.lsk_model tech in
   let gcell_um = netlist.Netlist.gcell_um in
@@ -94,9 +107,11 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     | Id_no | Isino -> (
         match base with
         | Some r -> (r, 0.0)
-        | None -> timed (fun () -> base_routes ~router tech grid netlist))
+        | None ->
+            Trace.timed_span "phase:route" (fun () ->
+                base_routes ~router tech grid netlist))
     | Gsino ->
-        timed (fun () ->
+        Trace.timed_span "phase:route" (fun () ->
             route_with router tech grid netlist
               (Id_router.Per_net
                  {
@@ -105,6 +120,7 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
                    kth = Budget.kth budget;
                  }))
   in
+  Metrics.accum m_route_s route_s;
   (* route-aware budgeting re-partitions the bounds from the realized
      path lengths now that the routes exist (Phase I's router weight
      already used the uniform budget above) *)
@@ -119,10 +135,11 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     match kind with Id_no -> Phase2.Order_only | Isino | Gsino -> Phase2.Min_area
   in
   let phase2, sino_s =
-    timed (fun () ->
+    Trace.timed_span "phase:sino" (fun () ->
         Phase2.solve ~grid ~netlist ~routes ~kth:(Budget.kth budget) ~sensitivity
           ~keff:tech.Tech.keff ~mode ~seed ())
   in
+  Metrics.accum m_sino_s sino_s;
   let usage = Usage.of_routes grid ~gcell_um (Array.to_list routes) in
   Phase2.apply_shields usage phase2;
   let refine_stats, refine_s =
@@ -130,12 +147,17 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     | Id_no -> (None, 0.0)
     | Isino | Gsino ->
         let stats, s =
-          timed (fun () ->
+          Trace.timed_span "phase:refine" (fun () ->
               Refine.run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
                 ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d))
         in
         (Some stats, s)
   in
+  Metrics.accum m_refine_s refine_s;
+  Log.debug
+    ~fields:[ ("kind", kind_name kind); ("circuit", netlist.Netlist.name) ]
+    "flow phases done: route %.2fs, sino %.2fs, refine %.2fs" route_s sino_s
+    refine_s;
   let violations =
     Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes
       ~bound_v:tech.Tech.noise_bound_v

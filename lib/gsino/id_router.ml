@@ -7,6 +7,18 @@ module Netlist = Eda_netlist.Netlist
 module Heap = Eda_util.Heap
 module Rsmt = Eda_steiner.Rsmt
 module Estimate = Eda_sino.Estimate
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+
+(* deletion-loop telemetry (§5: ID routing dominates runtime; these let a
+   profile see why for a given instance) *)
+let m_iterations = Metrics.counter "id_router.iterations"
+let m_deletions = Metrics.counter "id_router.edge_deletions"
+let m_essential = Metrics.counter "id_router.essential_edges"
+let m_reweights = Metrics.counter "id_router.reweights"
+let m_direct_nets = Metrics.counter "id_router.direct_nets"
+let m_overflowed = Metrics.counter "id_router.overflowed_regions"
+let h_candidates = Metrics.histogram "id_router.candidate_edges"
 
 type weights = { alpha : float; beta : float; gamma : float }
 
@@ -193,6 +205,9 @@ let prune_tree grid st =
 let route ~grid ~netlist ?(weights = default_weights)
     ?(shield_model = No_shields) ?(big_net_threshold = 5000) ?(bbox_expand = 1)
     () =
+  Trace.span_args "id_router.route"
+    [ ("nets", string_of_int (Array.length netlist.Netlist.nets)) ]
+  @@ fun () ->
   let nets = netlist.Netlist.nets in
   let n_edges = Grid.num_edges grid in
   let n_regions = Grid.num_regions grid in
@@ -270,6 +285,7 @@ let route ~grid ~netlist ?(weights = default_weights)
         let bounds = Rect.make 0 0 (Grid.width grid - 1) (Grid.height grid - 1) in
         let bbox = Rect.clip (Rect.expand (Net.bbox net) bbox_expand) ~within:bounds in
         if Rect.cells bbox > big_net_threshold then begin
+          Metrics.incr m_direct_nets;
           let r = steiner_route grid net in
           Hashtbl.replace direct net.Net.id r;
           Array.iter (fun e -> account e 1) (Route.edges r);
@@ -286,6 +302,7 @@ let route ~grid ~netlist ?(weights = default_weights)
           match edges with
           | [] -> None (* single-region net: empty route *)
           | _ ->
+              Metrics.observe h_candidates (float_of_int (List.length edges));
               let pins = Array.of_list (Net.pins net) in
               let st = build_state grid net (Rsmt.length pins) edges in
               List.iter
@@ -308,6 +325,7 @@ let route ~grid ~netlist ?(weights = default_weights)
   let mark = Array.make n_regions 0 in
   let stamp = ref 0 in
   while not (Heap.is_empty heap) do
+    Metrics.incr m_iterations;
     let w_old, (i, e) = Heap.pop_max heap in
     match states.(i) with
     | None -> ()
@@ -317,17 +335,35 @@ let route ~grid ~netlist ?(weights = default_weights)
         | Some essential when !essential -> ()
         | Some essential ->
             let w_cur = weight_of st e in
-            if w_cur < w_old -. 1e-9 then Heap.push heap w_cur (i, e)
+            if w_cur < w_old -. 1e-9 then begin
+              Metrics.incr m_reweights;
+              Heap.push heap w_cur (i, e)
+            end
             else begin
               incr stamp;
               if connected_without grid st ~mark ~stamp:!stamp ~skip:e then begin
+                Metrics.incr m_deletions;
                 Hashtbl.remove st.alive e;
                 account e (-1);
                 member_bump st e (-1)
               end
-              else essential := true
+              else begin
+                Metrics.incr m_essential;
+                essential := true
+              end
             end)
   done;
+  (* post-routing overflow census: regions whose demand (nets + predicted
+     shields) exceeds capacity in some direction *)
+  List.iter
+    (fun dir ->
+      let inc = inc_of dir and nss = nss_arr dir in
+      for r = 0 to n_regions - 1 do
+        let hu = float_of_int (inc.(r) / 2) +. nss.(r) in
+        let cap = float_of_int (Grid.cap grid (Grid.region_pt grid r) dir) in
+        if hu > cap then Metrics.incr m_overflowed
+      done)
+    Dir.all;
   (* Safety prune (the deletion loop already leaves a Steiner tree; this
      guards against floating-point ties) and route construction. *)
   Array.mapi

@@ -6,6 +6,34 @@ module Netlist = Eda_netlist.Netlist
 module Rmst = Eda_steiner.Rmst
 module Estimate = Eda_sino.Estimate
 module Heap = Eda_util.Heap
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+module Diag = Eda_check.Diag
+
+exception Unreachable of { net : int; region : int }
+
+let () =
+  Printexc.register_printer (function
+    | Unreachable { net; region } ->
+        Some
+          (Printf.sprintf
+             "Nc_router.Unreachable(net %d, terminal region %d not reachable)"
+             net region)
+    | _ -> None)
+
+let unreachable_diag ~net ~region =
+  Diag.makef ~code:17 Diag.Error ~locus:(Diag.Net net)
+    "negotiated router: terminal region %d is unreachable from the net's \
+     routed tree (disconnected grid)"
+    region
+
+(* negotiation telemetry: present/history price evolution per iteration *)
+let m_iterations = Metrics.counter "nc_router.iterations"
+let m_reroutes = Metrics.counter "nc_router.reroutes"
+let m_searches = Metrics.counter "nc_router.searches"
+let h_overused = Metrics.histogram "nc_router.overused_slots"
+let g_pres_fac = Metrics.gauge "nc_router.pres_fac"
+let g_history = Metrics.gauge "nc_router.history_total"
 
 (* per-(region, direction) track-pool state *)
 type pools = {
@@ -24,6 +52,9 @@ let hist_of p = function Dir.H -> p.hist_h | Dir.V -> p.hist_v
 let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12)
     ?(history_gain = 0.4) ?(seed = 0) () =
   ignore seed;
+  Trace.span_args "nc_router.route"
+    [ ("nets", string_of_int (Array.length netlist.Netlist.nets)) ]
+  @@ fun () ->
   let nets = netlist.Netlist.nets in
   let n_regions = Grid.num_regions grid in
   let pools =
@@ -73,7 +104,8 @@ let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12
      returns the new path's edges. *)
   let dist = Array.make n_regions infinity in
   let via = Array.make n_regions (-1) in
-  let search sources target =
+  let search ~net sources target =
+    Metrics.incr m_searches;
     Array.fill dist 0 n_regions infinity;
     Array.fill via 0 n_regions (-1);
     let heap = Heap.create () in
@@ -105,7 +137,7 @@ let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12
             (Grid.incident_edges grid (Grid.region_pt grid r))
       end
     done;
-    if dist.(target) = infinity then failwith "Nc_router: disconnected grid";
+    if dist.(target) = infinity then raise (Unreachable { net; region = target });
     (* walk back to any source *)
     let rec back r acc =
       if via.(r) = -1 then acc
@@ -139,7 +171,7 @@ let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12
           (fun (_, target) ->
             if not (Hashtbl.mem tree_regions target) then begin
               let sources = List.of_seq (Hashtbl.to_seq_keys tree_regions) in
-              let path = search sources target in
+              let path = search ~net:net.Net.id sources target in
               List.iter
                 (fun e ->
                   let a, b = Grid.edge_ends grid e in
@@ -166,8 +198,16 @@ let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12
   in
   let iter = ref 0 in
   let continue_ = ref true in
+  let history_total () =
+    let s = ref 0.0 in
+    for r = 0 to n_regions - 1 do
+      s := !s +. pools.hist_h.(r) +. pools.hist_v.(r)
+    done;
+    !s
+  in
   while !continue_ && !iter < max_iters do
     incr iter;
+    Metrics.incr m_iterations;
     match overused () with
     | [] -> continue_ := false
     | over ->
@@ -178,12 +218,25 @@ let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12
           (fun (r, dir) -> (hist_of pools dir).(r) <- (hist_of pools dir).(r) +. history_gain)
           over;
         pres_fac := Float.min 64.0 (!pres_fac *. 1.7);
+        Metrics.observe h_overused (float_of_int (List.length over));
+        Metrics.set g_pres_fac !pres_fac;
+        Metrics.set g_history (history_total ());
+        Trace.instant
+          ~args:
+            [
+              ("iter", string_of_int !iter);
+              ("overused", string_of_int (List.length over));
+              ("pres_fac", Printf.sprintf "%.3f" !pres_fac);
+              ("history_total", Printf.sprintf "%.3f" (history_total ()));
+            ]
+          "nc_router.iteration";
         Array.iteri
           (fun i route ->
             let guilty =
               List.exists (fun slot -> Hashtbl.mem bad slot) (Route.occupied grid route)
             in
             if guilty then begin
+              Metrics.incr m_reroutes;
               commit route (-1);
               let fresh = route_net nets.(i) in
               routes.(i) <- fresh;

@@ -9,6 +9,15 @@ module Layout = Eda_sino.Layout
 module Solver = Eda_sino.Solver
 module Keff = Eda_sino.Keff
 module Rng = Eda_util.Rng
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+
+(* Phase II telemetry: one panel per occupied (region, direction) *)
+let m_panels_h = Metrics.counter ~labels:[ ("dir", "H") ] "phase2.panels"
+let m_panels_v = Metrics.counter ~labels:[ ("dir", "V") ] "phase2.panels"
+let h_panel_nets = Metrics.histogram "phase2.panel_nets"
+let m_shields = Metrics.counter "phase2.shields_inserted"
+let m_resolves = Metrics.counter "phase2.resolves"
 
 type key = int * Dir.t
 
@@ -38,6 +47,7 @@ let soln_of_layout ~keff inst layout =
   { inst; layout; k }
 
 let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed () =
+  Trace.span "phase2.solve" @@ fun () ->
   let members : (key, int list) Hashtbl.t = Hashtbl.create 256 in
   let net_regions : (int, key list) Hashtbl.t = Hashtbl.create 256 in
   Array.iter
@@ -70,6 +80,9 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed () =
         | Order_only -> Solver.order_only rng inst
         | Min_area -> Solver.min_area ~params:keff rng inst
       in
+      Metrics.incr (match d with Dir.H -> m_panels_h | Dir.V -> m_panels_v);
+      Metrics.observe h_panel_nets (float_of_int (Array.length nets));
+      Metrics.add m_shields (Layout.num_shields layout);
       Hashtbl.replace table key (soln_of_layout ~keff inst layout))
     members;
   { grid; keff; table; net_regions }
@@ -90,6 +103,7 @@ let total_shields t =
 let replace t key soln = Hashtbl.replace t.table key soln
 
 let resolve t key inst rng =
+  Metrics.incr m_resolves;
   (* warm-start from the current layout when the instance is the same net
      set with changed bounds (the Phase III case): keeps the ordering and
      the other nets' couplings stable, and is much cheaper *)

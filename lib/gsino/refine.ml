@@ -7,6 +7,17 @@ module Netlist = Eda_netlist.Netlist
 module Instance = Eda_sino.Instance
 module Layout = Eda_sino.Layout
 module Rng = Eda_util.Rng
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+
+(* Phase III telemetry — the paper's claim that refinement touches few
+   nets is checkable from these counters *)
+let m_ripup_rounds = Metrics.counter "refine.ripup_rounds"
+let m_p1_fixed = Metrics.counter "refine.pass1_nets_fixed"
+let m_p2_removed = Metrics.counter "refine.pass2_shields_removed"
+let m_resolves = Metrics.counter "refine.sino_resolves"
+let m_reordered = Metrics.counter "refine.nets_reordered"
+let g_residual = Metrics.gauge "refine.residual_violations"
 
 type stats = {
   pass1_nets_fixed : int;
@@ -45,6 +56,7 @@ let pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
   let given_up : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let continue_outer = ref true in
   while !continue_outer do
+    Metrics.incr m_ripup_rounds;
     let violating =
       Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v
       |> List.filter (fun (i, _) -> not (Hashtbl.mem given_up i))
@@ -111,6 +123,8 @@ let pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
                             let inst' = Instance.with_kth soln.Phase2.inst li target in
                             let soln' = Phase2.resolve phase2 key inst' (Rng.split rng) in
                             incr resolves;
+                            Metrics.incr m_resolves;
+                            Metrics.add m_reordered (Instance.size inst');
                             Phase2.replace phase2 key soln';
                             sync_shields usage key soln';
                             if
@@ -194,6 +208,8 @@ let pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
                     let inst' = Instance.with_kth inst_cur li new_kth in
                     let soln' = Phase2.resolve phase2 key inst' (Rng.split rng) in
                     incr resolves;
+                    Metrics.incr m_resolves;
+                    Metrics.add m_reordered (Instance.size inst');
                     if Layout.num_shields soln'.Phase2.layout < shields_before then
                       Some (inst', soln')
                     else relax inst' rest
@@ -235,15 +251,20 @@ let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~seed =
   let rng = Rng.create seed in
   let gcell_um = Usage.gcell_um usage in
   let p1_fixed, p1_res =
-    pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng
+    Trace.span "refine.pass1" (fun () ->
+        pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng)
   in
   let p2_removed, p2_res =
-    pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng
+    Trace.span "refine.pass2" (fun () ->
+        pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng)
   in
   let residual =
     List.length
       (Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v)
   in
+  Metrics.add m_p1_fixed p1_fixed;
+  Metrics.add m_p2_removed p2_removed;
+  Metrics.set g_residual (float_of_int residual);
   {
     pass1_nets_fixed = p1_fixed;
     pass1_resolves = p1_res;

@@ -211,3 +211,62 @@ let timing_summary fmt suite =
         r.profile.Generator.name (r.rate *. 100.) r.gsino.Flow.route_s
         r.gsino.Flow.sino_s r.gsino.Flow.refine_s)
     suite.runs
+
+let metrics_summary fmt snap =
+  let module M = Eda_obs.Metrics in
+  (* metric name prefixes grouped by the flow phase they instrument *)
+  let groups =
+    [
+      ("phase I: routing + budgeting", [ "budget"; "id_router"; "nc_router" ]);
+      ("phase II: SINO", [ "phase2"; "sino" ]);
+      ("phase III: refinement", [ "refine" ]);
+      ("flow", [ "flow" ]);
+    ]
+  in
+  let prefix name =
+    match String.index_opt name '.' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+  in
+  let render_labels = function
+    | [] -> ""
+    | l ->
+        "{"
+        ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) l)
+        ^ "}"
+  in
+  Format.fprintf fmt "Per-phase metrics (Eda_obs registry)@\n";
+  let entries = M.entries snap in
+  let known = List.concat_map snd groups in
+  let groups =
+    groups
+    @ [
+        ( "other",
+          List.sort_uniq compare
+            (List.filter_map
+               (fun (n, _, _) ->
+                 let p = prefix n in
+                 if List.mem p known then None else Some p)
+               entries) );
+      ]
+  in
+  List.iter
+    (fun (title, prefixes) ->
+      let es =
+        List.filter (fun (n, _, _) -> List.mem (prefix n) prefixes) entries
+      in
+      if es <> [] then begin
+        Format.fprintf fmt "  [%s]@\n" title;
+        List.iter
+          (fun (n, labels, v) ->
+            let name = n ^ render_labels labels in
+            match v with
+            | M.Counter c -> Format.fprintf fmt "    %-36s %d@\n" name c
+            | M.Gauge g -> Format.fprintf fmt "    %-36s %.3f@\n" name g
+            | M.Histogram h ->
+                Format.fprintf fmt "    %-36s n=%d mean=%.2f max=%.2f@\n" name
+                  h.M.count (M.histogram_mean h)
+                  (if h.M.count = 0 then 0.0 else h.M.max))
+          es
+      end)
+    groups

@@ -70,3 +70,11 @@ val lint_summary : Format.formatter -> suite -> unit
 
 (** Per-phase wall-clock time; the paper notes ID routing dominates (§5). *)
 val timing_summary : Format.formatter -> suite -> unit
+
+(** [metrics_summary fmt snap] — the per-phase observability table: every
+    registered {!Eda_obs.Metrics} instrument, grouped by the flow phase
+    its name prefix instruments (Phase I [budget]/[id_router]/[nc_router],
+    Phase II [phase2]/[sino], Phase III [refine], plus the [flow] phase
+    timers).  Printed next to {!lint_summary} by [gsino_run] and the
+    bench so every evaluation carries its measurement substrate. *)
+val metrics_summary : Format.formatter -> Eda_obs.Metrics.snapshot -> unit

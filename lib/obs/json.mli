@@ -1,0 +1,34 @@
+(** Minimal JSON tree, printer and parser.
+
+    Just enough for the observability exports ({!Metrics.to_json},
+    {!Trace.to_chrome_json}) and for tests to round-trip them without
+    pulling a JSON dependency into the build.  The printer always emits
+    valid JSON (strings are escaped, non-finite floats are rendered as
+    [null], as Chrome's trace importer expects); the parser accepts the
+    full JSON grammar minus exotic number forms ([1e999] overflows to
+    [inf] and is rejected). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+(** [to_buffer b j] — append the rendering of [j] to [b]. *)
+val to_buffer : Buffer.t -> t -> unit
+
+(** [write_file path j] — write [j] followed by a newline. *)
+val write_file : string -> t -> unit
+
+(** [of_string s] — parse one JSON value; [Error msg] names the offending
+    byte offset.  Trailing whitespace is allowed, trailing garbage is
+    not. *)
+val of_string : string -> (t, string) result
+
+(** Object field lookup; [None] on non-objects or missing keys. *)
+val member : string -> t -> t option

@@ -1,0 +1,227 @@
+type labels = (string * string) list
+
+let n_buckets = 64
+
+(* bucket i covers [2^(i-16), 2^(i-15)); <=0 underflows to 0 *)
+let bucket_of v =
+  if v <= 0.0 || not (Float.is_finite v) then if v > 0.0 then n_buckets - 1 else 0
+  else begin
+    let _, e = Float.frexp v in
+    (* v in [2^(e-1), 2^e) *)
+    min (n_buckets - 1) (max 0 (e + 15))
+  end
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  mutable count : int;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+  buckets : int array;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+let registry : (string * labels, instrument) Hashtbl.t = Hashtbl.create 64
+
+let norm_labels labels =
+  let l = List.sort_uniq compare labels in
+  if List.length l <> List.length (List.sort_uniq (fun (a, _) (b, _) -> compare a b) l)
+  then invalid_arg "Metrics: duplicate label key";
+  l
+
+let register ?(labels = []) name make =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  let key = (name, norm_labels labels) in
+  match Hashtbl.find_opt registry key with
+  | Some existing -> existing
+  | None ->
+      let i = make () in
+      Hashtbl.replace registry key i;
+      i
+
+let counter ?labels name =
+  match register ?labels name (fun () -> C { c = 0 }) with
+  | C c -> c
+  | G _ | H _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another kind")
+
+let gauge ?labels name =
+  match register ?labels name (fun () -> G { g = 0.0 }) with
+  | G g -> g
+  | C _ | H _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another kind")
+
+let histogram ?labels name =
+  match
+    register ?labels name (fun () ->
+        H
+          {
+            count = 0;
+            sum = 0.0;
+            mn = infinity;
+            mx = neg_infinity;
+            buckets = Array.make n_buckets 0;
+          })
+  with
+  | H h -> h
+  | C _ | G _ ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another kind")
+
+let incr c = c.c <- c.c + 1
+let add c n = c.c <- c.c + n
+let counter_value c = c.c
+let set g v = g.g <- v
+let accum g v = g.g <- g.g +. v
+let gauge_value g = g.g
+
+let observe h v =
+  h.count <- h.count + 1;
+  h.sum <- h.sum +. v;
+  if v < h.mn then h.mn <- v;
+  if v > h.mx then h.mx <- v;
+  let b = bucket_of v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  buckets : (int * int) list;
+}
+
+let histogram_summary (h : histogram) =
+  let buckets = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
+  done;
+  { count = h.count; sum = h.sum; min = h.mn; max = h.mx; buckets = !buckets }
+
+let histogram_mean s =
+  if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+type snapshot = (string * labels * value) list
+
+let snapshot () =
+  Hashtbl.fold
+    (fun (name, labels) inst acc ->
+      let v =
+        match inst with
+        | C c -> Counter c.c
+        | G g -> Gauge g.g
+        | H h -> Histogram (histogram_summary h)
+      in
+      (name, labels, v) :: acc)
+    registry []
+  |> List.sort compare
+
+let entries s = s
+
+let find ?(labels = []) s name =
+  let labels = norm_labels labels in
+  List.find_map
+    (fun (n, l, v) -> if n = name && l = labels then Some v else None)
+    s
+
+let counter_total s name =
+  List.fold_left
+    (fun acc (n, _, v) ->
+      match v with Counter c when n = name -> acc + c | Counter _ | Gauge _ | Histogram _ -> acc)
+    0 s
+
+let merge_value a b =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge _, Gauge y -> Gauge y
+  | Histogram x, Histogram y ->
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun (i, c) ->
+          Hashtbl.replace tbl i (c + Option.value (Hashtbl.find_opt tbl i) ~default:0))
+        (x.buckets @ y.buckets);
+      let buckets =
+        Hashtbl.fold (fun i c acc -> (i, c) :: acc) tbl [] |> List.sort compare
+      in
+      Histogram
+        {
+          count = x.count + y.count;
+          sum = x.sum +. y.sum;
+          min = Float.min x.min y.min;
+          max = Float.max x.max y.max;
+          buckets;
+        }
+  | (Counter _ | Gauge _ | Histogram _), _ ->
+      invalid_arg "Metrics.merge: metric kind mismatch"
+
+let merge a b =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (n, l, v) -> Hashtbl.replace tbl (n, l) v) a;
+  List.iter
+    (fun (n, l, v) ->
+      match Hashtbl.find_opt tbl (n, l) with
+      | None -> Hashtbl.replace tbl (n, l) v
+      | Some prev -> Hashtbl.replace tbl (n, l) (merge_value prev v))
+    b;
+  Hashtbl.fold (fun (n, l) v acc -> (n, l, v) :: acc) tbl [] |> List.sort compare
+
+let labels_json labels = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) labels)
+
+let value_fields = function
+  | Counter c -> [ ("kind", Json.Str "counter"); ("value", Json.Int c) ]
+  | Gauge g -> [ ("kind", Json.Str "gauge"); ("value", Json.Float g) ]
+  | Histogram h ->
+      [
+        ("kind", Json.Str "histogram");
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+        ("min", if h.count = 0 then Json.Null else Json.Float h.min);
+        ("max", if h.count = 0 then Json.Null else Json.Float h.max);
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (i, c) ->
+                 Json.Obj
+                   [
+                     (* upper bound of the bucket, for Prometheus-style "le" *)
+                     ("le", Json.Float (Float.ldexp 1.0 (i - 15)));
+                     ("count", Json.Int c);
+                   ])
+               h.buckets) );
+      ]
+
+let to_json s =
+  Json.Obj
+    [
+      ("schema", Json.Str "gsino-metrics-v1");
+      ( "metrics",
+        Json.List
+          (List.map
+             (fun (name, labels, v) ->
+               Json.Obj
+                 (("name", Json.Str name)
+                 :: ("labels", labels_json labels)
+                 :: value_fields v))
+             s) );
+    ]
+
+let write_json path s = Json.write_file path (to_json s)
+
+let reset () =
+  Hashtbl.iter
+    (fun _ inst ->
+      match inst with
+      | C c -> c.c <- 0
+      | G g -> g.g <- 0.0
+      | H h ->
+          h.count <- 0;
+          h.sum <- 0.0;
+          h.mn <- infinity;
+          h.mx <- neg_infinity;
+          Array.fill h.buckets 0 n_buckets 0)
+    registry

@@ -1,0 +1,98 @@
+(** Process-global metrics registry.
+
+    Named counters, gauges and log-scale histograms, optionally
+    distinguished by a small static label set (e.g. [("phase", "route")]
+    or [("dir", "H")]).  Instruments register once (typically at module
+    initialisation or lazily at first use) and then mutate a single heap
+    cell per event, so recording is an increment — cheap enough for the
+    routers' inner loops.  Registration is idempotent: asking for an
+    existing (name, labels) pair returns the same instrument; asking for
+    the same pair with a different kind is a programming error
+    ([Invalid_argument]).
+
+    The registry is snapshot-based: {!snapshot} captures every
+    instrument's current state immutably, {!merge} combines snapshots
+    (counters and histograms add; gauges take the right-hand value), and
+    {!to_json} renders the [gsino-metrics-v1] schema consumed by CI and
+    the bench trajectory files.
+
+    Not thread-safe; the flow is single-threaded. *)
+
+(** Sorted, duplicate-free at registration; order given does not matter. *)
+type labels = (string * string) list
+
+type counter
+type gauge
+type histogram
+
+(** {1 Registration} *)
+
+val counter : ?labels:labels -> string -> counter
+val gauge : ?labels:labels -> string -> gauge
+val histogram : ?labels:labels -> string -> histogram
+
+(** {1 Recording} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val set : gauge -> float -> unit
+
+(** [accum g v] — add [v]; gauges double as float accumulators (phase
+    seconds across a suite). *)
+val accum : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+(** [observe h v] — record a sample.  Buckets are powers of two:
+    bucket [i] counts samples in [[2^(i-16), 2^(i-15))]; values [<= 0]
+    land in the underflow bucket, huge values in the overflow bucket. *)
+val observe : histogram -> float -> unit
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;  (** [infinity] when empty *)
+  max : float;  (** [neg_infinity] when empty *)
+  buckets : (int * int) list;  (** (bucket index, count), sparse, sorted *)
+}
+
+val histogram_summary : histogram -> histogram_summary
+
+(** Mean of observed samples; 0 when empty. *)
+val histogram_mean : histogram_summary -> float
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+type snapshot
+
+val snapshot : unit -> snapshot
+
+(** All (name, labels, value) triples, sorted by name then labels. *)
+val entries : snapshot -> (string * labels * value) list
+
+(** [find snap ?labels name] — exact (name, labels) lookup. *)
+val find : ?labels:labels -> snapshot -> string -> value option
+
+(** [counter_total snap name] — sum of all counters called [name] across
+    label sets; 0 when absent. *)
+val counter_total : snapshot -> string -> int
+
+(** Counters and histograms add; for a gauge the right-hand side wins
+    (last-writer semantics). *)
+val merge : snapshot -> snapshot -> snapshot
+
+(** [gsino-metrics-v1]: [{"schema": ..., "metrics": [{"name", "kind",
+    "labels", ...}]}]. *)
+val to_json : snapshot -> Json.t
+
+val write_json : string -> snapshot -> unit
+
+(** Zero every registered instrument (registrations survive). *)
+val reset : unit -> unit

@@ -1,0 +1,129 @@
+type args = (string * string) list
+
+type phase = B | E | I
+
+type event = { name : string; ph : phase; ts_us : float; args : args }
+
+type state = {
+  buf : event array;
+  capacity : int;
+  mutable next : int;  (** total events ever recorded *)
+  mutable t0 : float;  (** wall-clock origin, seconds *)
+  mutable last_us : float;  (** monotonic clamp *)
+  mutable depth : int;
+  mutable stack : string list;  (** open span names, innermost first *)
+}
+
+let dummy_event = { name = ""; ph = I; ts_us = 0.0; args = [] }
+
+let state : state option ref = ref None
+
+let enabled () = !state <> None
+
+let enable ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.enable: non-positive capacity";
+  state :=
+    Some
+      {
+        buf = Array.make capacity dummy_event;
+        capacity;
+        next = 0;
+        t0 = Unix.gettimeofday ();
+        last_us = 0.0;
+        depth = 0;
+        stack = [];
+      }
+
+let disable () = state := None
+
+let clear () = match !state with None -> () | Some s -> enable ~capacity:s.capacity ()
+
+let now_us s =
+  let t = (Unix.gettimeofday () -. s.t0) *. 1e6 in
+  let t = if t > s.last_us then t else s.last_us in
+  s.last_us <- t;
+  t
+
+let record s ev =
+  s.buf.(s.next mod s.capacity) <- ev;
+  s.next <- s.next + 1
+
+let begin_span s name args =
+  record s { name; ph = B; ts_us = now_us s; args };
+  s.depth <- s.depth + 1;
+  s.stack <- name :: s.stack
+
+let end_span s =
+  match s.stack with
+  | [] -> () (* already balanced; nothing to close *)
+  | name :: rest ->
+      s.stack <- rest;
+      s.depth <- s.depth - 1;
+      record s { name; ph = E; ts_us = now_us s; args = [] }
+
+let span_args name args f =
+  match !state with
+  | None -> f ()
+  | Some s ->
+      begin_span s name args;
+      Fun.protect ~finally:(fun () -> end_span s) f
+
+let span name f =
+  match !state with None -> f () | Some _ -> span_args name [] f
+
+let timed_span name f =
+  let t0 = Unix.gettimeofday () in
+  let v = span name f in
+  (v, Unix.gettimeofday () -. t0)
+
+let instant ?(args = []) name =
+  match !state with
+  | None -> ()
+  | Some s -> record s { name; ph = I; ts_us = now_us s; args }
+
+let depth () = match !state with None -> 0 | Some s -> s.depth
+
+let dropped () =
+  match !state with None -> 0 | Some s -> max 0 (s.next - s.capacity)
+
+let events () =
+  match !state with
+  | None -> []
+  | Some s ->
+      let n = min s.next s.capacity in
+      let first = s.next - n in
+      List.init n (fun i -> s.buf.((first + i) mod s.capacity))
+
+let ph_string = function B -> "B" | E -> "E" | I -> "i"
+
+let event_json ev =
+  let base =
+    [
+      ("name", Json.Str ev.name);
+      ("ph", Json.Str (ph_string ev.ph));
+      ("ts", Json.Float ev.ts_us);
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+    ]
+  in
+  let base = match ev.ph with I -> base @ [ ("s", Json.Str "t") ] | B | E -> base in
+  match ev.args with
+  | [] -> Json.Obj base
+  | args ->
+      Json.Obj
+        (base @ [ ("args", Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) args)) ])
+
+let to_chrome_json () =
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map event_json (events ())));
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("tool", Json.Str "gsino");
+            ("droppedEvents", Json.Int (dropped ()));
+          ] );
+    ]
+
+let write_chrome path = Json.write_file path (to_chrome_json ())

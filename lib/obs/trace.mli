@@ -1,0 +1,67 @@
+(** Span tracing with Chrome-trace export.
+
+    Nestable spans over a monotonic (non-decreasing) microsecond clock,
+    recorded into a fixed-capacity ring buffer of begin/end/instant
+    events.  Disabled by default: until {!enable} is called, {!span} is a
+    bool test plus a direct call of its thunk — no event, no timestamp,
+    no allocation — so leaving instrumentation in the hot paths costs
+    nothing in production runs ({!timed_span} additionally reads the
+    clock twice, because its callers need the duration regardless).
+
+    {!write_chrome} / {!to_chrome_json} render the buffer in the Chrome
+    Trace Event format (JSON object with a ["traceEvents"] array of
+    ["B"]/["E"]/["i"] events, timestamps in µs), loadable by
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+
+    Not thread-safe; the flow is single-threaded. *)
+
+type args = (string * string) list
+
+type phase = B | E | I
+
+type event = {
+  name : string;
+  ph : phase;
+  ts_us : float;  (** relative to {!enable}; non-decreasing *)
+  args : args;
+}
+
+(** [enable ?capacity ()] — start recording (clears any previous buffer).
+    When more than [capacity] (default 65536) events are recorded the
+    oldest are overwritten; see {!dropped}. *)
+val enable : ?capacity:int -> unit -> unit
+
+val disable : unit -> unit
+val enabled : unit -> bool
+
+(** [span name f] — run [f] inside a [name] span.  The closing event is
+    emitted even when [f] raises.  When disabled this is exactly [f ()]. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** [span_args name args f] — as {!span}, with begin-event arguments. *)
+val span_args : string -> args -> (unit -> 'a) -> 'a
+
+(** [timed_span name f] — [span], plus the wall-clock seconds [f] took.
+    The duration is measured (and returned) even when tracing is
+    disabled. *)
+val timed_span : string -> (unit -> 'a) -> 'a * float
+
+(** A zero-duration marker event. *)
+val instant : ?args:args -> string -> unit
+
+(** Current span nesting depth (0 at top level). *)
+val depth : unit -> int
+
+(** Buffered events, oldest first.  Begin/end events balance unless the
+    ring wrapped (check {!dropped}) or spans are still open. *)
+val events : unit -> event list
+
+(** Events overwritten since {!enable}. *)
+val dropped : unit -> int
+
+val clear : unit -> unit
+
+val to_chrome_json : unit -> Json.t
+
+(** [write_chrome path] — write the Chrome-trace JSON file. *)
+val write_chrome : string -> unit

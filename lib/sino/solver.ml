@@ -1,4 +1,15 @@
 module Rng = Eda_util.Rng
+module Metrics = Eda_obs.Metrics
+
+(* SINO solver telemetry: shields placed/dropped by the heuristic and the
+   annealer's move acceptance *)
+let m_instances = Metrics.counter "sino.instances"
+let m_inserted = Metrics.counter "sino.shields_inserted"
+let m_removed = Metrics.counter "sino.shields_removed"
+let m_accepted = Metrics.counter "sino.moves_accepted"
+let m_rejected = Metrics.counter "sino.moves_rejected"
+let m_swaps = Metrics.counter "sino.swap_improvements"
+let m_repairs = Metrics.counter "sino.repairs"
 
 (* Internal working form: slots as an int array, net index >= 0, shield as
    [-1].  All hot-loop deltas are computed locally on this form; the
@@ -119,6 +130,7 @@ let swap_improve inst slots ~passes =
           let tmp = slots.(a) in
           slots.(a) <- slots.(b);
           slots.(b) <- tmp;
+          Metrics.incr m_swaps;
           improved := true
         end
       done
@@ -126,6 +138,7 @@ let swap_improve inst slots ~passes =
   done
 
 let order_only rng inst =
+  Metrics.incr m_instances;
   let slots = greedy_order rng inst in
   swap_improve inst slots ~passes:4;
   to_layout inst slots
@@ -176,7 +189,11 @@ let cap_fix inst slots =
       then Some (t + 1)
       else find (t + 1)
     in
-    match find 0 with Some pos -> go (insert_at s pos) | None -> s
+    match find 0 with
+    | Some pos ->
+        Metrics.incr m_inserted;
+        go (insert_at s pos)
+    | None -> s
   in
   go slots
 
@@ -214,6 +231,7 @@ let inductive_fix inst params slots max_passes =
             best_pos := g
           end
         done;
+        Metrics.incr m_inserted;
         slots := insert_at s !best_pos
   done;
   !slots
@@ -238,6 +256,7 @@ let shield_cleanup inst params slots =
         in
         if ok then begin
           slots := trial;
+          Metrics.incr m_removed;
           removed := true;
           t := -1 (* restart scan on the shorter array *)
         end
@@ -249,6 +268,7 @@ let shield_cleanup inst params slots =
   !slots
 
 let min_area ?(params = Keff.default) ?max_passes rng inst =
+  Metrics.incr m_instances;
   let n = Instance.size inst in
   if n = 0 then to_layout inst [||]
   else begin
@@ -262,6 +282,7 @@ let min_area ?(params = Keff.default) ?max_passes rng inst =
   end
 
 let repair ?(params = Keff.default) ?max_passes inst layout =
+  Metrics.incr m_repairs;
   let n = Instance.size inst in
   if n = 0 then to_layout inst [||]
   else begin
@@ -362,6 +383,7 @@ let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5) rng inst layout 
             c <= !cur_cost || Rng.float rng 1.0 < exp ((!cur_cost -. c) /. temp)
           in
           if accept then begin
+            Metrics.incr m_accepted;
             slots := t;
             cur_cost := c;
             if c < !best_cost && eligible t then begin
@@ -369,6 +391,7 @@ let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5) rng inst layout 
               best := Array.copy t
             end
           end
+          else Metrics.incr m_rejected
     done;
     (* never return something worse than the input *)
     let input_cost =

@@ -89,7 +89,12 @@ let lu_factor a =
         piv := i
       end
     done;
-    if !best < 1e-13 then failwith "Matrix.lu_factor: singular matrix";
+    if !best < 1e-13 then
+      failwith
+        (Printf.sprintf
+           "Matrix.lu_factor: singular matrix (n=%d, best |pivot| %.3e in \
+            column %d)"
+           n !best k);
     if !piv <> k then begin
       for j = 0 to n - 1 do
         let tmp = f.((k * n) + j) in

@@ -15,4 +15,5 @@ let () =
          Test_check.suites;
          Test_extensions.suites;
          Test_refine.suites;
+         Test_obs.suites;
        ])

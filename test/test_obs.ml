@@ -1,0 +1,331 @@
+(* Tests for Eda_obs: metrics registry arithmetic, span tracing
+   invariants, JSON round-trips, and the disabled-mode no-op paths. *)
+module Json = Eda_obs.Json
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+module Log = Eda_obs.Log
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+let check_float ?eps msg a b = Alcotest.(check bool) msg true (feq ?eps a b)
+
+(* Every test starts from a clean registry/trace; registrations are
+   process-global and the whole binary shares them. *)
+let fresh () =
+  Metrics.reset ();
+  Trace.disable ()
+
+(* ---------------------------- Json --------------------------------- *)
+
+let roundtrip j =
+  match Json.of_string (Json.to_string j) with
+  | Ok j' -> j'
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+
+let test_json_roundtrip () =
+  let j =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bool", Json.Bool true);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("str", Json.Str "quote \" backslash \\ newline \n tab \t");
+        ("list", Json.List [ Json.Int 1; Json.Str "two"; Json.Null ]);
+        ("nested", Json.Obj [ ("k", Json.List []) ]);
+      ]
+  in
+  Alcotest.(check bool) "roundtrip equal" true (roundtrip j = j)
+
+let test_json_nonfinite_is_null () =
+  (* Chrome's importer rejects NaN/Infinity literals *)
+  Alcotest.(check bool)
+    "nan -> null" true
+    (roundtrip (Json.List [ Json.Float Float.nan; Json.Float Float.infinity ])
+    = Json.List [ Json.Null; Json.Null ])
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "trailing garbage" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "bare word" true (bad "flase");
+  Alcotest.(check bool) "empty" true (bad "")
+
+let test_json_unicode_escape () =
+  match Json.of_string "\"a\\u00e9b\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "utf-8" "a\xc3\xa9b" s
+  | Ok _ | Error _ -> Alcotest.fail "unicode escape did not parse to Str"
+
+let test_json_member () =
+  let j = Json.Obj [ ("a", Json.Int 1) ] in
+  Alcotest.(check bool) "hit" true (Json.member "a" j = Some (Json.Int 1));
+  Alcotest.(check bool) "miss" true (Json.member "b" j = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" Json.Null = None)
+
+(* --------------------------- Metrics ------------------------------- *)
+
+let test_counter_arithmetic () =
+  fresh ();
+  let c = Metrics.counter "t.counter" in
+  Alcotest.(check int) "starts at 0" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "incr + add" 42 (Metrics.counter_value c);
+  (* registration is idempotent: same name -> same cell *)
+  Metrics.incr (Metrics.counter "t.counter");
+  Alcotest.(check int) "same instrument" 43 (Metrics.counter_value c)
+
+let test_gauge_set_accum () =
+  fresh ();
+  let g = Metrics.gauge "t.gauge" in
+  Metrics.set g 2.5;
+  Metrics.accum g 0.5;
+  check_float "set + accum" 3.0 (Metrics.gauge_value g)
+
+let test_labels_distinguish () =
+  fresh ();
+  let h = Metrics.counter ~labels:[ ("dir", "H") ] "t.panels" in
+  let v = Metrics.counter ~labels:[ ("dir", "V") ] "t.panels" in
+  Metrics.add h 3;
+  Metrics.incr v;
+  Alcotest.(check int) "H" 3 (Metrics.counter_value h);
+  Alcotest.(check int) "V" 1 (Metrics.counter_value v);
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "total across labels" 4
+    (Metrics.counter_total snap "t.panels")
+
+let test_kind_mismatch_rejected () =
+  fresh ();
+  ignore (Metrics.counter "t.kind");
+  Alcotest.(check bool)
+    "gauge under a counter name" true
+    (match Metrics.gauge "t.kind" with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+let test_histogram_summary () =
+  fresh ();
+  let h = Metrics.histogram "t.hist" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 3.0; 1024.0 ];
+  let s = Metrics.histogram_summary h in
+  Alcotest.(check int) "count" 4 s.Metrics.count;
+  check_float "sum" 1030.0 s.Metrics.sum;
+  check_float "min" 1.0 s.Metrics.min;
+  check_float "max" 1024.0 s.Metrics.max;
+  check_float "mean" 257.5 (Metrics.histogram_mean s);
+  (* 1.0 lands in [1,2); 2.0 and 3.0 in [2,4): one bucket holds 2 *)
+  Alcotest.(check bool)
+    "log2 bucketing" true
+    (List.exists (fun (_, n) -> n = 2) s.Metrics.buckets)
+
+let test_snapshot_find_and_merge () =
+  fresh ();
+  let c = Metrics.counter "t.c" in
+  let g = Metrics.gauge "t.g" in
+  let h = Metrics.histogram "t.h" in
+  Metrics.add c 5;
+  Metrics.set g 1.0;
+  Metrics.observe h 8.0;
+  let a = Metrics.snapshot () in
+  Metrics.add c 2;
+  Metrics.set g 9.0;
+  Metrics.observe h 8.0;
+  let b = Metrics.snapshot () in
+  let m = Metrics.merge a b in
+  (match Metrics.find m "t.c" with
+  | Some (Metrics.Counter n) -> Alcotest.(check int) "counters add" 12 n
+  | Some (Metrics.Gauge _ | Metrics.Histogram _) | None ->
+      Alcotest.fail "t.c missing or wrong kind");
+  (match Metrics.find m "t.g" with
+  | Some (Metrics.Gauge v) -> check_float "gauge right-wins" 9.0 v
+  | Some (Metrics.Counter _ | Metrics.Histogram _) | None ->
+      Alcotest.fail "t.g missing or wrong kind");
+  match Metrics.find m "t.h" with
+  | Some (Metrics.Histogram s) ->
+      Alcotest.(check int) "histograms add" 3 s.Metrics.count
+  | Some (Metrics.Counter _ | Metrics.Gauge _) | None ->
+      Alcotest.fail "t.h missing or wrong kind"
+
+let test_metrics_json_parses () =
+  fresh ();
+  Metrics.add (Metrics.counter "t.c") 7;
+  Metrics.observe (Metrics.histogram ~labels:[ ("phase", "x") ] "t.h") 3.0;
+  let j = Metrics.to_json (Metrics.snapshot ()) in
+  let j' = roundtrip j in
+  (match Json.member "schema" j' with
+  | Some (Json.Str s) -> Alcotest.(check string) "schema" "gsino-metrics-v1" s
+  | Some _ | None -> Alcotest.fail "schema field missing");
+  match Json.member "metrics" j' with
+  | Some (Json.List (_ :: _)) -> ()
+  | Some _ | None -> Alcotest.fail "metrics array missing or empty"
+
+(* ---------------------------- Trace -------------------------------- *)
+
+let test_span_nesting () =
+  fresh ();
+  Trace.enable ();
+  let r =
+    Trace.span "outer" (fun () ->
+        Alcotest.(check int) "depth inside outer" 1 (Trace.depth ());
+        Trace.span "inner" (fun () ->
+            Alcotest.(check int) "depth inside inner" 2 (Trace.depth ());
+            17))
+  in
+  Alcotest.(check int) "result threaded" 17 r;
+  Alcotest.(check int) "depth back to 0" 0 (Trace.depth ());
+  let evs = Trace.events () in
+  Alcotest.(check int) "2 B + 2 E" 4 (List.length evs);
+  let b = List.filter (fun e -> e.Trace.ph = Trace.B) evs in
+  let e = List.filter (fun e -> e.Trace.ph = Trace.E) evs in
+  Alcotest.(check int) "balanced" (List.length b) (List.length e);
+  (* timestamps non-decreasing, oldest first *)
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a.Trace.ts_us <= b.Trace.ts_us && mono rest
+    | [ _ ] | [] -> true
+  in
+  Alcotest.(check bool) "monotone ts" true (mono evs);
+  Trace.disable ()
+
+let test_span_closes_on_raise () =
+  fresh ();
+  Trace.enable ();
+  (try Trace.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "depth restored" 0 (Trace.depth ());
+  let evs = Trace.events () in
+  Alcotest.(check bool)
+    "end event emitted" true
+    (List.exists (fun e -> e.Trace.ph = Trace.E) evs);
+  Trace.disable ()
+
+let test_ring_capacity_and_dropped () =
+  fresh ();
+  Trace.enable ~capacity:4 ();
+  for i = 1 to 10 do
+    Trace.instant (Printf.sprintf "i%d" i)
+  done;
+  let evs = Trace.events () in
+  Alcotest.(check int) "capacity bounds buffer" 4 (List.length evs);
+  Alcotest.(check int) "dropped counted" 6 (Trace.dropped ());
+  (* the survivors are the newest, oldest first *)
+  Alcotest.(check (list string))
+    "newest kept" [ "i7"; "i8"; "i9"; "i10" ]
+    (List.map (fun e -> e.Trace.name) evs);
+  Trace.disable ()
+
+let test_disabled_is_noop () =
+  fresh ();
+  Alcotest.(check bool) "disabled" false (Trace.enabled ());
+  let r = Trace.span "ghost" (fun () -> 5) in
+  Trace.instant "ghost2";
+  Alcotest.(check int) "thunk still runs" 5 r;
+  Alcotest.(check int) "no events" 0 (List.length (Trace.events ()));
+  let r2, dt = Trace.timed_span "ghost3" (fun () -> 6) in
+  Alcotest.(check int) "timed thunk runs" 6 r2;
+  Alcotest.(check bool) "duration still measured" true (dt >= 0.0)
+
+let test_chrome_json_parses () =
+  fresh ();
+  Trace.enable ();
+  Trace.span_args "phase:route" [ ("nets", "12") ] (fun () ->
+      Trace.instant ~args:[ ("iter", "1") ] "tick");
+  let j = roundtrip (Trace.to_chrome_json ()) in
+  (match Json.member "traceEvents" j with
+  | Some (Json.List evs) ->
+      Alcotest.(check int) "B + i + E" 3 (List.length evs);
+      let phases =
+        List.filter_map
+          (fun e ->
+            match Json.member "ph" e with
+            | Some (Json.Str p) -> Some p
+            | Some _ | None -> None)
+          evs
+      in
+      Alcotest.(check (list string)) "phase letters" [ "B"; "i"; "E" ] phases
+  | Some _ | None -> Alcotest.fail "traceEvents missing");
+  Trace.disable ()
+
+(* ----------------------------- Log --------------------------------- *)
+
+let test_log_levels () =
+  let saved = Log.current_level () in
+  Log.set_level (Log.Level Log.Warn);
+  Alcotest.(check bool) "warn visible" true (Log.would_log Log.Warn);
+  Alcotest.(check bool) "error visible" true (Log.would_log Log.Error);
+  Alcotest.(check bool) "info hidden" false (Log.would_log Log.Info);
+  Log.set_level Log.Quiet;
+  Alcotest.(check bool) "quiet hides errors" false (Log.would_log Log.Error);
+  Log.set_level saved
+
+let test_log_level_of_string () =
+  Alcotest.(check bool)
+    "debug parses" true
+    (Log.level_of_string "debug" = Ok (Log.Level Log.Debug));
+  Alcotest.(check bool)
+    "quiet parses" true
+    (Log.level_of_string "quiet" = Ok Log.Quiet);
+  Alcotest.(check bool)
+    "junk rejected" true
+    (match Log.level_of_string "loud" with Ok _ -> false | Error _ -> true)
+
+let test_log_jsonl_sink () =
+  let saved = Log.current_level () in
+  let path = Filename.temp_file "gsino_log" ".jsonl" in
+  let oc = open_out path in
+  Log.set_sink (Log.Jsonl oc);
+  Log.set_level (Log.Level Log.Info);
+  Log.info ~fields:[ ("net", "3") ] "routed %d nets" 7;
+  Log.debug "below threshold, discarded";
+  close_out oc;
+  Log.set_sink (Log.Human Format.err_formatter);
+  Log.set_level saved;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  match Json.of_string line with
+  | Error msg -> Alcotest.failf "JSONL line unparseable: %s" msg
+  | Ok j -> (
+      (match Json.member "msg" j with
+      | Some (Json.Str m) -> Alcotest.(check string) "msg" "routed 7 nets" m
+      | Some _ | None -> Alcotest.fail "msg field missing");
+      match Json.member "level" j with
+      | Some (Json.Str l) -> Alcotest.(check string) "level" "info" l
+      | Some _ | None -> Alcotest.fail "level field missing")
+
+let suites =
+  [
+    ( "obs.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "non-finite -> null" `Quick test_json_nonfinite_is_null;
+        Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+        Alcotest.test_case "member" `Quick test_json_member;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter arithmetic" `Quick test_counter_arithmetic;
+        Alcotest.test_case "gauge set/accum" `Quick test_gauge_set_accum;
+        Alcotest.test_case "labels distinguish" `Quick test_labels_distinguish;
+        Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch_rejected;
+        Alcotest.test_case "histogram summary" `Quick test_histogram_summary;
+        Alcotest.test_case "snapshot find/merge" `Quick
+          test_snapshot_find_and_merge;
+        Alcotest.test_case "json export parses" `Quick test_metrics_json_parses;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "span nesting" `Quick test_span_nesting;
+        Alcotest.test_case "closes on raise" `Quick test_span_closes_on_raise;
+        Alcotest.test_case "ring capacity" `Quick test_ring_capacity_and_dropped;
+        Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
+        Alcotest.test_case "chrome json parses" `Quick test_chrome_json_parses;
+      ] );
+    ( "obs.log",
+      [
+        Alcotest.test_case "levels" `Quick test_log_levels;
+        Alcotest.test_case "level_of_string" `Quick test_log_level_of_string;
+        Alcotest.test_case "jsonl sink" `Quick test_log_jsonl_sink;
+      ] );
+  ]

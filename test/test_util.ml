@@ -247,9 +247,23 @@ let test_matrix_solve_pivoting () =
   check_float "y" 2.0 x.(1)
 
 let test_matrix_singular () =
+  (* row 1 = 2 * row 0: rank deficient.  The failure must name the
+     dimension and the vanishing pivot so a user can tell "bad input"
+     from "numerical bad luck". *)
   let a = Matrix.of_rows [| [| 1.; 2. |]; [| 2.; 4. |] |] in
-  Alcotest.check_raises "singular" (Failure "Matrix.lu_factor: singular matrix")
-    (fun () -> ignore (Matrix.solve a [| 1.; 1. |]))
+  let contains ~sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  match Matrix.solve a [| 1.; 1. |] with
+  | _ -> Alcotest.fail "singular matrix accepted"
+  | exception Failure msg ->
+      Alcotest.(check bool)
+        "names lu_factor" true
+        (contains ~sub:"Matrix.lu_factor: singular matrix" msg);
+      Alcotest.(check bool) "names dimension" true (contains ~sub:"n=2" msg);
+      Alcotest.(check bool) "names pivot" true (contains ~sub:"|pivot|" msg)
 
 let test_matrix_lu_reuse () =
   let a = Matrix.of_rows [| [| 4.; 1. |]; [| 1.; 3. |] |] in
