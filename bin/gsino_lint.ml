@@ -78,12 +78,16 @@ let errors_only_arg =
 let trace_arg =
   let doc =
     "Record spans of the audited flows and write Chrome-trace JSON to \
-     $(docv) (chrome://tracing / Perfetto)."
+     $(docv) (chrome://tracing / Perfetto); '-' writes it to stdout and \
+     silences the diagnostics."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let metrics_arg =
-  let doc = "Write the metrics registry (gsino-metrics-v1 JSON) to $(docv)." in
+  let doc =
+    "Write the metrics registry (gsino-metrics-v1 JSON) to $(docv); '-' \
+     writes it to stdout and silences the diagnostics."
+  in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
 let verbose_arg =
@@ -94,14 +98,39 @@ let quiet_arg =
   let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+(* "-" routes an artifact to stdout.  At most one may claim it; when one
+   does the diagnostics are silenced (a null formatter) so the artifact
+   stays machine-parseable. *)
+let claim_stdout sinks =
+  match List.filter (fun s -> s = Some "-") sinks with
+  | [] -> false
+  | [ _ ] -> true
+  | _ :: _ :: _ ->
+      Format.eprintf
+        "gsino_lint: at most one of --trace/--metrics may be '-'@.";
+      exit 2
+
+let out_formatter ~claimed =
+  if claimed then Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+  else Format.std_formatter
+
 let lint circuit scale seed rate router budgeting netlist_file kinds pretty
     max_print errors_only trace metrics verbose quiet =
+  let claimed = claim_stdout [ trace; metrics ] in
+  let out = out_formatter ~claimed in
   if quiet then Log.set_level Log.Quiet
   else if verbose then Log.set_level (Log.Level Log.Debug);
   (match trace with Some _ -> Trace.enable () | None -> ());
   let flush_obs () =
-    (match trace with Some file -> Trace.write_chrome file | None -> ());
+    (match trace with
+    | Some "-" ->
+        print_endline (Eda_obs.Json.to_string (Trace.to_chrome_json ()))
+    | Some file -> Trace.write_chrome file
+    | None -> ());
     match metrics with
+    | Some "-" ->
+        print_endline
+          (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
     | Some file -> Metrics.write_json file (Metrics.snapshot ())
     | None -> ()
   in
@@ -112,8 +141,8 @@ let lint circuit scale seed rate router budgeting netlist_file kinds pretty
     try body ()
     with Nc_router.Unreachable { net; region } ->
       let d = Nc_router.unreachable_diag ~net ~region in
-      if pretty then Format.printf "%a@." Diag.pp d
-      else print_endline (Diag.to_line d);
+      if pretty then Format.eprintf "%a@." Diag.pp d
+      else prerr_endline (Diag.to_line d);
       exit 2)
   @@ fun () ->
   let tech = Tech.default in
@@ -147,13 +176,13 @@ let lint circuit scale seed rate router budgeting netlist_file kinds pretty
     List.iteri
       (fun i d ->
         if max_print <= 0 || i < max_print then
-          if pretty then Format.printf "%a@." Diag.pp d
-          else print_endline (Diag.to_line d))
+          if pretty then Format.fprintf out "%a@." Diag.pp d
+          else Format.fprintf out "%s@." (Diag.to_line d))
       shown;
     if max_print > 0 && n_shown > max_print then
-      Format.printf "... %d more diagnostics suppressed (--max-print)@."
+      Format.fprintf out "... %d more diagnostics suppressed (--max-print)@."
         (n_shown - max_print);
-    Format.printf "gsino_lint: %s on %s: %a@." (Flow.kind_name kind)
+    Format.fprintf out "gsino_lint: %s on %s: %a@." (Flow.kind_name kind)
       netlist.Eda_netlist.Netlist.name Diag.pp_summary diags;
     diags
   in

@@ -17,14 +17,16 @@ module Log = Eda_obs.Log
 let trace_arg =
   let doc =
     "Record spans of the whole run and write a Chrome-trace JSON file to \
-     $(docv) on exit (load it in chrome://tracing or ui.perfetto.dev)."
+     $(docv) on exit (load it in chrome://tracing or ui.perfetto.dev); \
+     '-' writes it to stdout and silences the human-readable output."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 let metrics_arg =
   let doc =
     "Write the metrics registry (gsino-metrics-v1 JSON: per-phase counters, \
-     gauges and histograms) to $(docv) on exit."
+     gauges and histograms) to $(docv) on exit; '-' writes it to stdout \
+     and silences the human-readable output."
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
@@ -36,24 +38,50 @@ let quiet_arg =
   let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+(* "-" routes an artifact to stdout.  At most one artifact may claim
+   stdout; when one does the human-readable output is silenced (a null
+   formatter) so the artifact stays machine-parseable. *)
+let claim_stdout sinks =
+  match List.filter (fun s -> s = Some "-") sinks with
+  | [] -> false
+  | [ _ ] -> true
+  | _ :: _ :: _ ->
+      Format.eprintf
+        "gsino_run: at most one of --trace/--metrics/--report may be '-'@.";
+      exit 2
+
+let out_formatter ~claimed =
+  if claimed then Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+  else Format.std_formatter
+
+let write_trace = function
+  | None -> ()
+  | Some "-" -> print_endline (Eda_obs.Json.to_string (Trace.to_chrome_json ()))
+  | Some file -> Trace.write_chrome file
+
+let write_metrics = function
+  | None -> ()
+  | Some "-" ->
+      print_endline
+        (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
+  | Some file -> Metrics.write_json file (Metrics.snapshot ())
+
 (* Apply -v/-q, enable tracing when requested, run [f], then flush the
-   trace/metrics files even if [f] raises.  A disconnected-grid failure
-   from the negotiated router surfaces as a GSL0017 diagnostic and exit
-   code 2 instead of an uncaught exception. *)
+   trace/metrics artifacts even if [f] raises.  A disconnected-grid
+   failure from the negotiated router surfaces as a GSL0017 diagnostic
+   and exit code 2 instead of an uncaught exception. *)
 let with_obs ~trace ~metrics ~verbose ~quiet f =
   if quiet then Log.set_level Log.Quiet
   else if verbose then Log.set_level (Log.Level Log.Debug);
   (match trace with Some _ -> Trace.enable () | None -> ());
   let finish () =
-    (match trace with Some file -> Trace.write_chrome file | None -> ());
-    match metrics with
-    | Some file -> Metrics.write_json file (Metrics.snapshot ())
-    | None -> ()
+    write_trace trace;
+    write_metrics metrics
   in
   Fun.protect ~finally:finish (fun () ->
       try f ()
       with Nc_router.Unreachable { net; region } ->
-        print_endline
+        prerr_endline
           (Eda_check.Diag.to_line (Nc_router.unreachable_diag ~net ~region));
         exit 2)
 
@@ -109,15 +137,25 @@ let netlist_of tech circuit scale seed = function
       Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
         (profile_of_name circuit)
 
+let report_arg =
+  let doc =
+    "Write a self-contained HTML run report for the GSINO flow (congestion \
+     and shield heatmaps, noise-margin audit, phase timings, metric charts) \
+     to $(docv); '-' prints the plain-text report to stdout instead."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
   let run circuit scale seed rate router budgeting netlist_file trace metrics
-      verbose quiet =
+      report verbose quiet =
+    let claimed = claim_stdout [ trace; metrics; report ] in
+    let out = out_formatter ~claimed in
     with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let tech = Tech.default in
     let netlist = netlist_of tech circuit scale seed netlist_file in
-    Format.printf "%a@." Eda_netlist.Netlist.pp_summary netlist;
+    Format.fprintf out "%a@." Eda_netlist.Netlist.pp_summary netlist;
     let grid, base = Flow.prepare ~router tech netlist in
-    Format.printf "%a@.@." Eda_grid.Grid.pp grid;
+    Format.fprintf out "%a@.@." Eda_grid.Grid.pp grid;
     let sensitivity = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
     let flows =
       [
@@ -126,12 +164,12 @@ let run_cmd =
         Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid netlist Flow.Gsino;
       ]
     in
-    List.iter (fun r -> Format.printf "%a@." Flow.pp_summary r) flows;
+    List.iter (fun r -> Format.fprintf out "%a@." Flow.pp_summary r) flows;
     List.iter
       (fun r ->
         match r.Flow.refine_stats with
         | Some s ->
-            Format.printf "%s %a@." (Flow.kind_name r.Flow.kind) Refine.pp_stats s
+            Format.fprintf out "%s %a@." (Flow.kind_name r.Flow.kind) Refine.pp_stats s
         | None -> ())
       flows;
     (* self-audit: every flow run is checked against the GSL invariant
@@ -139,21 +177,38 @@ let run_cmd =
     List.iter
       (fun r ->
         let diags = Flow.check ~tech r in
-        Format.printf "%s lint: %a@." (Flow.kind_name r.Flow.kind)
+        Format.fprintf out "%s lint: %a@." (Flow.kind_name r.Flow.kind)
           Eda_check.Diag.pp_summary diags;
         List.iter
           (fun d ->
             if d.Eda_check.Diag.severity = Eda_check.Diag.Error then
-              Format.printf "  %s@." (Eda_check.Diag.to_line d))
+              Format.fprintf out "  %s@." (Eda_check.Diag.to_line d))
           diags)
       flows;
-    Format.printf "@.%a" Report.metrics_summary (Metrics.snapshot ())
+    Format.fprintf out "@.%a" Report.metrics_summary (Metrics.snapshot ());
+    match report with
+    | None -> ()
+    | Some dest -> (
+        let gsino_r = List.find (fun r -> r.Flow.kind = Flow.Gsino) flows in
+        let snapshot = Metrics.snapshot () in
+        let title =
+          Printf.sprintf "GSINO run report: %s"
+            netlist.Eda_netlist.Netlist.name
+        in
+        match dest with
+        | "-" ->
+            print_string
+              (Eda_reportviz.Run_report.text ~tech ~snapshot gsino_r)
+        | file ->
+            Eda_reportviz.Run_report.write_html ~tech ~title ~snapshot file
+              gsino_r;
+            Format.fprintf out "wrote run report to %s@." file)
   in
   let doc = "Run ID+NO, iSINO and GSINO on one circuit at one sensitivity rate." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ router_arg
           $ budgeting_arg $ netlist_file_arg $ trace_arg $ metrics_arg
-          $ verbose_arg $ quiet_arg)
+          $ report_arg $ verbose_arg $ quiet_arg)
 
 let map_cmd =
   let run circuit scale seed rate netlist_file =
@@ -193,6 +248,8 @@ let gen_cmd =
 
 let suite_cmd =
   let run scale seed circuits trace metrics verbose quiet =
+    let claimed = claim_stdout [ trace; metrics ] in
+    let out = out_formatter ~claimed in
     with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let profiles =
       match circuits with
@@ -200,7 +257,7 @@ let suite_cmd =
       | names -> List.map profile_of_name names
     in
     let suite = Report.run_suite ~profiles ~scale ~seed () in
-    Format.printf "%a@.%a@.%a@.%a@.%a@.%a@.%a@." Report.table1 suite
+    Format.fprintf out "%a@.%a@.%a@.%a@.%a@.%a@.%a@." Report.table1 suite
       Report.table2 suite Report.table3 suite Report.violations_summary suite
       Report.timing_summary suite Report.lint_summary suite
       Report.metrics_summary (Metrics.snapshot ())

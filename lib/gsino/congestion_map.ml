@@ -2,6 +2,36 @@ module Grid = Eda_grid.Grid
 module Dir = Eda_grid.Dir
 module Usage = Eda_grid.Usage
 
+type cell = {
+  x : int;
+  y : int;
+  cap : int;
+  nets : int;
+  shields : int;
+  util : float;
+}
+
+let cell usage dir x y =
+  let grid = Usage.grid usage in
+  let p = Eda_geom.Point.make x y in
+  let r = Grid.region_id grid p in
+  {
+    x;
+    y;
+    cap = Grid.cap grid p dir;
+    nets = Usage.nns usage r dir;
+    shields = Usage.nss usage r dir;
+    util = Usage.utilization usage r dir;
+  }
+
+let cells usage dir =
+  let grid = Usage.grid usage in
+  List.concat
+    (List.init (Grid.height grid) (fun y ->
+         List.init (Grid.width grid) (fun x -> cell usage dir x y)))
+
+let over_capacity c = c.util > 1.0 +. 1e-9
+
 let ramp = " .:-=+*#%@"
 
 let glyph u =
@@ -19,8 +49,7 @@ let render_dir fmt usage dir =
   for y = Grid.height grid - 1 downto 0 do
     Format.fprintf fmt "  ";
     for x = 0 to Grid.width grid - 1 do
-      let r = Grid.region_id grid (Eda_geom.Point.make x y) in
-      Format.fprintf fmt "%c" (glyph (Usage.utilization usage r dir))
+      Format.fprintf fmt "%c" (glyph (cell usage dir x y).util)
     done;
     Format.fprintf fmt "@\n"
   done

@@ -1,10 +1,30 @@
-(** ASCII congestion heat maps — the quick visual check of where track
-    demand (and shield demand) concentrates.  One character per region;
-    rows are printed north to south. *)
+(** Congestion heat-map data and the ASCII renderer — the quick visual
+    check of where track demand (and shield demand) concentrates.  One
+    cell per region and direction; the same cells feed the inline-SVG
+    heatmaps of [Eda_reportviz.Heatmap]. *)
 
-(** [render fmt usage] draws one map per direction.  The glyph ramp is
-    [" .:-=+*#%@"], linear in utilization up to 1.0; regions above
-    capacity show as ['!'].  *)
+(** One region's track accounting in one direction. *)
+type cell = {
+  x : int;
+  y : int;
+  cap : int;  (** track capacity *)
+  nets : int;  (** tracks taken by net segments *)
+  shields : int;  (** tracks taken by shields *)
+  util : float;  (** (nets + shields) / cap *)
+}
+
+(** [cell usage dir x y] — a single region's accounting. *)
+val cell : Eda_grid.Usage.t -> Eda_grid.Dir.t -> int -> int -> cell
+
+(** [cells usage dir] — every region, row-major with [y] ascending (the
+    southernmost row first). *)
+val cells : Eda_grid.Usage.t -> Eda_grid.Dir.t -> cell list
+
+val over_capacity : cell -> bool
+
+(** [render fmt usage] draws one ASCII map per direction.  The glyph ramp
+    is [" .:-=+*#%@"], linear in utilization up to 1.0; regions above
+    capacity show as ['!'].  Rows are printed north to south. *)
 val render : Format.formatter -> Eda_grid.Usage.t -> unit
 
 (** [render_dir fmt usage dir] draws a single direction's map. *)

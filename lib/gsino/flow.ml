@@ -168,6 +168,13 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     if Array.length lengths = 0 then 0.0
     else total_wl_um /. float_of_int (Array.length lengths)
   in
+  let shields = Phase2.total_shields phase2 in
+  (* per-kind outcome metrics, cumulative across the runs of the process
+     like flow.phase_seconds — the series gsino_diff guards in CI *)
+  let kl = [ ("kind", kind_name kind) ] in
+  Metrics.add (Metrics.counter ~labels:kl "flow.violations") (List.length violations);
+  Metrics.add (Metrics.counter ~labels:kl "flow.shields") shields;
+  Metrics.accum (Metrics.gauge ~labels:kl "flow.total_wl_um") total_wl_um;
   {
     kind;
     netlist;
@@ -182,7 +189,7 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     avg_wl_um;
     total_wl_um;
     area = Usage.expanded_area usage;
-    shields = Phase2.total_shields phase2;
+    shields;
     route_s;
     sino_s;
     refine_s;

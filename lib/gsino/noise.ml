@@ -34,11 +34,31 @@ let net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net route =
   let _, lsk, v = worst_sink ~grid ~gcell_um ~phase2 ~lsk_model ~net route in
   (lsk, v)
 
-let violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v =
+type audit_entry = {
+  net : int;
+  lsk : float;
+  noise_v : float;
+  margin_v : float;
+  violating : bool;
+}
+
+let audit ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v =
   let out = ref [] in
   Array.iteri
     (fun i net ->
-      let _, v = net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net routes.(i) in
-      if v > bound_v +. 1e-12 then out := (i, v) :: !out)
+      let lsk, v = net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net routes.(i) in
+      out :=
+        {
+          net = i;
+          lsk;
+          noise_v = v;
+          margin_v = bound_v -. v;
+          violating = v > bound_v +. 1e-12;
+        }
+        :: !out)
     netlist.Netlist.nets;
-  List.sort (fun (_, a) (_, b) -> compare b a) !out
+  List.sort (fun a b -> compare b.noise_v a.noise_v) !out
+
+let violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v =
+  audit ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v
+  |> List.filter_map (fun e -> if e.violating then Some (e.net, e.noise_v) else None)

@@ -39,6 +39,29 @@ val worst_sink :
   Eda_grid.Route.t ->
   Eda_geom.Point.t * float * float
 
+(** One net's entry in the noise-margin audit: worst-sink LSK, its mapped
+    noise, and the margin to the bound (negative when violating). *)
+type audit_entry = {
+  net : int;
+  lsk : float;
+  noise_v : float;
+  margin_v : float;  (** [bound_v -. noise_v] *)
+  violating : bool;
+}
+
+(** [audit ~netlist ~routes ... ~bound_v] — every net's worst-sink noise
+    against the bound, sorted worst (highest noise) first.  The run
+    report's noise table; {!violations} is the violating prefix. *)
+val audit :
+  grid:Eda_grid.Grid.t ->
+  gcell_um:float ->
+  phase2:Phase2.t ->
+  lsk_model:Eda_lsk.Lsk.t ->
+  netlist:Eda_netlist.Netlist.t ->
+  routes:Eda_grid.Route.t array ->
+  bound_v:float ->
+  audit_entry list
+
 (** [violations ~netlist ~routes ...] — ids of nets whose worst sink noise
     exceeds [bound_v], with their noise, sorted worst first. *)
 val violations :

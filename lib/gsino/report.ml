@@ -264,8 +264,12 @@ let metrics_summary fmt snap =
             | M.Counter c -> Format.fprintf fmt "    %-36s %d@\n" name c
             | M.Gauge g -> Format.fprintf fmt "    %-36s %.3f@\n" name g
             | M.Histogram h ->
-                Format.fprintf fmt "    %-36s n=%d mean=%.2f max=%.2f@\n" name
-                  h.M.count (M.histogram_mean h)
+                (* approximate quantiles from the log2 buckets — the
+                   shape of the distribution, not its raw bucket dump *)
+                Format.fprintf fmt
+                  "    %-36s n=%d mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f@\n"
+                  name h.M.count (M.histogram_mean h) (M.quantile h 0.50)
+                  (M.quantile h 0.95) (M.quantile h 0.99)
                   (if h.M.count = 0 then 0.0 else h.M.max))
           es
       end)

@@ -108,6 +108,44 @@ let of_string s =
   let parse_string () =
     expect '"';
     let b = Buffer.create 16 in
+    (* [!pos] is on the 'u' of a \u escape: consume it and exactly four
+       hex digits (strict — '_' and the other int_of_string liberties are
+       rejected), returning the code unit. *)
+    let hex4 () =
+      advance ();
+      if !pos + 4 > n then fail "short \\u escape";
+      let code = ref 0 in
+      for _ = 1 to 4 do
+        let d =
+          match s.[!pos] with
+          | '0' .. '9' as c -> Char.code c - Char.code '0'
+          | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+          | c -> fail (Printf.sprintf "bad \\u escape digit %c" c)
+        in
+        code := (!code lsl 4) lor d;
+        advance ()
+      done;
+      !code
+    in
+    let add_utf8 code =
+      if code < 0x80 then Buffer.add_char b (Char.chr code)
+      else if code < 0x800 then begin
+        Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+      end
+      else if code < 0x10000 then begin
+        Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+      end
+      else begin
+        Buffer.add_char b (Char.chr (0xf0 lor (code lsr 18)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
+        Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
+      end
+    in
     let rec go () =
       if !pos >= n then fail "unterminated string"
       else
@@ -118,36 +156,56 @@ let of_string s =
             (if !pos >= n then fail "unterminated escape"
              else
                match s.[!pos] with
-               | '"' -> Buffer.add_char b '"'
-               | '\\' -> Buffer.add_char b '\\'
-               | '/' -> Buffer.add_char b '/'
-               | 'n' -> Buffer.add_char b '\n'
-               | 'r' -> Buffer.add_char b '\r'
-               | 't' -> Buffer.add_char b '\t'
-               | 'b' -> Buffer.add_char b '\b'
-               | 'f' -> Buffer.add_char b '\012'
+               | '"' ->
+                   Buffer.add_char b '"';
+                   advance ()
+               | '\\' ->
+                   Buffer.add_char b '\\';
+                   advance ()
+               | '/' ->
+                   Buffer.add_char b '/';
+                   advance ()
+               | 'n' ->
+                   Buffer.add_char b '\n';
+                   advance ()
+               | 'r' ->
+                   Buffer.add_char b '\r';
+                   advance ()
+               | 't' ->
+                   Buffer.add_char b '\t';
+                   advance ()
+               | 'b' ->
+                   Buffer.add_char b '\b';
+                   advance ()
+               | 'f' ->
+                   Buffer.add_char b '\012';
+                   advance ()
                | 'u' ->
-                   if !pos + 4 >= n then fail "short \\u escape";
-                   let hex = String.sub s (!pos + 1) 4 in
+                   let code = hex4 () in
                    let code =
-                     try int_of_string ("0x" ^ hex)
-                     with Failure _ -> fail "bad \\u escape"
+                     (* a high surrogate followed by \uDC00..\uDFFF is an
+                        astral pair; a lone surrogate keeps its WTF-8
+                        3-byte form *)
+                     if
+                       code >= 0xd800 && code <= 0xdbff
+                       && !pos + 1 < n
+                       && s.[!pos] = '\\'
+                       && s.[!pos + 1] = 'u'
+                     then begin
+                       let save = !pos in
+                       advance ();
+                       let lo = hex4 () in
+                       if lo >= 0xdc00 && lo <= 0xdfff then
+                         0x10000 + ((code - 0xd800) lsl 10) + (lo - 0xdc00)
+                       else begin
+                         pos := save;
+                         code
+                       end
+                     end
+                     else code
                    in
-                   (* BMP only; encode as UTF-8 *)
-                   if code < 0x80 then Buffer.add_char b (Char.chr code)
-                   else if code < 0x800 then begin
-                     Buffer.add_char b (Char.chr (0xc0 lor (code lsr 6)));
-                     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
-                   end
-                   else begin
-                     Buffer.add_char b (Char.chr (0xe0 lor (code lsr 12)));
-                     Buffer.add_char b
-                       (Char.chr (0x80 lor ((code lsr 6) land 0x3f)));
-                     Buffer.add_char b (Char.chr (0x80 lor (code land 0x3f)))
-                   end;
-                   pos := !pos + 4
+                   add_utf8 code
                | c -> fail (Printf.sprintf "bad escape \\%c" c));
-            advance ();
             go ()
         | c ->
             Buffer.add_char b c;
@@ -246,3 +304,13 @@ let of_string s =
   | v -> Ok v
   | exception Parse_error (at, msg) ->
       Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+let read_file path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | contents -> of_string contents
+  | exception Sys_error msg -> Error msg

@@ -27,8 +27,14 @@ val write_file : string -> t -> unit
 
 (** [of_string s] — parse one JSON value; [Error msg] names the offending
     byte offset.  Trailing whitespace is allowed, trailing garbage is
-    not. *)
+    not.  [\uXXXX] escapes must be exactly four hex digits; surrogate
+    pairs combine into one astral code point (a lone surrogate keeps its
+    3-byte encoding). *)
 val of_string : string -> (t, string) result
+
+(** [read_file path] — {!of_string} on the file's whole contents;
+    [Error] on I/O failure too. *)
+val read_file : string -> (t, string) result
 
 (** Object field lookup; [None] on non-objects or missing keys. *)
 val member : string -> t -> t option

@@ -101,6 +101,32 @@ let histogram_summary (h : histogram) =
 let histogram_mean s =
   if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
 
+(* bucket i covers [2^(i-16), 2^(i-15)) — see bucket_of *)
+let bucket_lo i = Float.ldexp 1.0 (i - 16)
+let bucket_hi i = Float.ldexp 1.0 (i - 15)
+
+let quantile s q =
+  if s.count = 0 then 0.0
+  else begin
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let rank = q *. float_of_int s.count in
+    let rec go cum = function
+      | [] -> s.max
+      | (i, c) :: rest ->
+          let cum' = cum +. float_of_int c in
+          if cum' >= rank || rest = [] then begin
+            let lo = bucket_lo i and hi = bucket_hi i in
+            let frac =
+              if c = 0 then 0.0
+              else Float.max 0.0 (Float.min 1.0 ((rank -. cum) /. float_of_int c))
+            in
+            Float.max s.min (Float.min s.max (lo +. ((hi -. lo) *. frac)))
+          end
+          else go cum' rest
+    in
+    go 0.0 s.buckets
+  end
+
 type value =
   | Counter of int
   | Gauge of float
@@ -189,7 +215,7 @@ let value_fields = function
                  Json.Obj
                    [
                      (* upper bound of the bucket, for Prometheus-style "le" *)
-                     ("le", Json.Float (Float.ldexp 1.0 (i - 15)));
+                     ("le", Json.Float (bucket_hi i));
                      ("count", Json.Int c);
                    ])
                h.buckets) );
@@ -211,6 +237,113 @@ let to_json s =
     ]
 
 let write_json path s = Json.write_file path (to_json s)
+
+(* ------------------------- snapshot loading ------------------------- *)
+
+exception Bad of string
+
+let of_json j =
+  let fail fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt in
+  let str what = function
+    | Json.Str s -> s
+    | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.List _
+    | Json.Obj _ ->
+        fail "%s: expected a string" what
+  in
+  let num what = function
+    | Json.Int i -> float_of_int i
+    | Json.Float f -> f
+    | Json.Null | Json.Bool _ | Json.Str _ | Json.List _ | Json.Obj _ ->
+        fail "%s: expected a number" what
+  in
+  let int what = function
+    | Json.Int i -> i
+    | Json.Null | Json.Bool _ | Json.Float _ | Json.Str _ | Json.List _
+    | Json.Obj _ ->
+        fail "%s: expected an integer" what
+  in
+  let field what o key =
+    match Json.member key o with
+    | Some v -> v
+    | None -> fail "%s: missing field %s" what key
+  in
+  (* invert the "le" upper bound back to the log2 bucket index *)
+  let bucket_of_le le =
+    if le <= 0.0 || not (Float.is_finite le) then fail "bucket le %g out of range" le;
+    let i = int_of_float (Float.round (Float.log le /. Float.log 2.0)) + 15 in
+    if i < 0 || i >= n_buckets || Float.abs (bucket_hi i -. le) > 1e-9 *. le then
+      fail "bucket le %g is not a power of two in range" le;
+    i
+  in
+  let labels_of what = function
+    | Json.Obj fields ->
+        norm_labels (List.map (fun (k, v) -> (k, str (what ^ ".labels") v)) fields)
+    | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _
+    | Json.List _ ->
+        fail "%s: labels must be an object" what
+  in
+  let entry_of j =
+    let name = str "metric name" (field "metric" j "name") in
+    let labels = labels_of name (field name j "labels") in
+    let v =
+      match str (name ^ ".kind") (field name j "kind") with
+      | "counter" -> Counter (int (name ^ ".value") (field name j "value"))
+      | "gauge" -> Gauge (num (name ^ ".value") (field name j "value"))
+      | "histogram" ->
+          let count = int (name ^ ".count") (field name j "count") in
+          let sum = num (name ^ ".sum") (field name j "sum") in
+          let bound what default =
+            match field name j what with
+            | Json.Null -> default
+            | (Json.Int _ | Json.Float _) as v -> num (name ^ "." ^ what) v
+            | Json.Bool _ | Json.Str _ | Json.List _ | Json.Obj _ ->
+                fail "%s.%s: expected number or null" name what
+          in
+          let buckets =
+            match field name j "buckets" with
+            | Json.List bs ->
+                List.map
+                  (fun b ->
+                    ( bucket_of_le (num (name ^ ".le") (field name b "le")),
+                      int (name ^ ".bucket count") (field name b "count") ))
+                  bs
+                |> List.sort compare
+            | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _
+            | Json.Obj _ ->
+                fail "%s.buckets: expected a list" name
+          in
+          Histogram
+            {
+              count;
+              sum;
+              min = bound "min" infinity;
+              max = bound "max" neg_infinity;
+              buckets;
+            }
+      | kind -> fail "%s: unknown metric kind %s" name kind
+    in
+    (name, labels, v)
+  in
+  match
+    (match str "schema" (field "snapshot" j "schema") with
+    | "gsino-metrics-v1" -> ()
+    | schema -> fail "unsupported schema %s (want gsino-metrics-v1)" schema);
+    match field "snapshot" j "metrics" with
+    | Json.List ms -> List.sort compare (List.map entry_of ms)
+    | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _
+    | Json.Obj _ ->
+        fail "metrics: expected a list"
+  with
+  | entries -> Ok entries
+  | exception Bad msg -> Error msg
+
+let read_json path =
+  match Json.read_file path with
+  | Error msg -> Error (path ^ ": " ^ msg)
+  | Ok j -> (
+      match of_json j with
+      | Ok s -> Ok s
+      | Error msg -> Error (path ^ ": " ^ msg))
 
 let reset () =
   Hashtbl.iter

@@ -63,6 +63,13 @@ val histogram_summary : histogram -> histogram_summary
 (** Mean of observed samples; 0 when empty. *)
 val histogram_mean : histogram_summary -> float
 
+(** [quantile s q] — approximate [q]-quantile ([0..1], clamped) from the
+    log2 buckets: the bucket holding the rank-[q*count] sample,
+    interpolated linearly inside its [[2^(i-16), 2^(i-15))] range and
+    clamped to the observed min/max (so p0 = min, p100 = max exactly; the
+    interior is within a factor of 2).  0 when empty. *)
+val quantile : histogram_summary -> float -> float
+
 (** {1 Snapshots} *)
 
 type value =
@@ -93,6 +100,15 @@ val merge : snapshot -> snapshot -> snapshot
 val to_json : snapshot -> Json.t
 
 val write_json : string -> snapshot -> unit
+
+(** [of_json j] — parse a [gsino-metrics-v1] document (the {!to_json}
+    schema) back into a snapshot; [to_json] then [of_json] is the
+    identity.  Used by [gsino_diff] to align two exported runs. *)
+val of_json : Json.t -> (snapshot, string) result
+
+(** [read_json path] — {!of_json} on a JSON file; errors are prefixed
+    with the path. *)
+val read_json : string -> (snapshot, string) result
 
 (** Zero every registered instrument (registrations survive). *)
 val reset : unit -> unit

@@ -20,8 +20,15 @@ let state : state option ref = ref None
 
 let enabled () = !state <> None
 
+(* Ring overwrites surface in the metrics registry too, so an exported
+   gsino-metrics-v1 snapshot carries the evidence that the trace is (or
+   is not) complete; CI asserts this counter is zero.  Registered at
+   [enable] so instrumented runs always export it, even at zero. *)
+let m_dropped = lazy (Metrics.counter "trace.dropped_spans")
+
 let enable ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.enable: non-positive capacity";
+  ignore (Lazy.force m_dropped);
   state :=
     Some
       {
@@ -45,6 +52,7 @@ let now_us s =
   t
 
 let record s ev =
+  if s.next >= s.capacity then Metrics.incr (Lazy.force m_dropped);
   s.buf.(s.next mod s.capacity) <- ev;
   s.next <- s.next + 1
 

@@ -56,7 +56,10 @@ val depth : unit -> int
     ring wrapped (check {!dropped}) or spans are still open. *)
 val events : unit -> event list
 
-(** Events overwritten since {!enable}. *)
+(** Events overwritten since {!enable}.  Overwrites also increment the
+    [trace.dropped_spans] {!Metrics} counter (registered by {!enable},
+    cumulative across the process), so exported metrics snapshots record
+    whether the trace ring ever wrapped. *)
 val dropped : unit -> int
 
 val clear : unit -> unit

@@ -1,0 +1,80 @@
+let bar_color = "#2a78d6"
+let ink = "#1c1917"
+let ink_muted = "#57534e"
+
+let label_attrs anchor =
+  [
+    ("font-size", "11");
+    ("font-family", "system-ui, sans-serif");
+    ("fill", ink_muted);
+    ("text-anchor", anchor);
+  ]
+
+let value_attrs =
+  [ ("font-size", "11"); ("font-family", "system-ui, sans-serif"); ("fill", ink) ]
+
+(* Horizontal bars: label column on the left, thin rounded bars scaled to
+   the maximum value, a direct value label at each bar's end (so no axis
+   is needed) and a tooltip per bar. *)
+let bars ?(width = 560) ?(color = bar_color) ?(fmt = Printf.sprintf "%g") rows =
+  let row_h = 22 in
+  let label_w = 170.0 in
+  let value_w = 70.0 in
+  let bar_max = float_of_int width -. label_w -. value_w in
+  let maxv = List.fold_left (fun m (_, v) -> Float.max m v) 0.0 rows in
+  let items =
+    List.concat
+      (List.mapi
+         (fun i (label, v) ->
+           let v = Float.max 0.0 v in
+           let y = float_of_int (i * row_h) in
+           let bw =
+             if maxv > 0.0 then Float.max 2.0 (v /. maxv *. bar_max) else 2.0
+           in
+           [
+             Svg.text ~x:(label_w -. 8.0) ~y:(y +. 14.0)
+               ~attrs:(label_attrs "end") label;
+             Svg.rect ~x:label_w ~y:(y +. 3.0) ~w:bw ~h:14.0
+               ~attrs:[ ("fill", color); ("rx", "2") ]
+               ~tooltip:(label ^ ": " ^ fmt v) ();
+             Svg.text ~x:(label_w +. bw +. 6.0) ~y:(y +. 14.0)
+               ~attrs:value_attrs (fmt v);
+           ])
+         rows)
+  in
+  Svg.svg ~w:width ~h:((List.length rows * row_h) + 4) items
+
+(* A metrics histogram as bars, one per occupied log2 bucket, labelled
+   with the bucket's [2^(i-16), 2^(i-15)) value range. *)
+let histogram ?width ?color (h : Eda_obs.Metrics.histogram_summary) =
+  let rows =
+    List.map
+      (fun (i, c) ->
+        ( Printf.sprintf "[%.4g, %.4g)"
+            (Float.ldexp 1.0 (i - 16))
+            (Float.ldexp 1.0 (i - 15)),
+          float_of_int c ))
+      h.Eda_obs.Metrics.buckets
+  in
+  bars ?width ?color ~fmt:(Printf.sprintf "%.0f") rows
+
+(* Linear binning for the Kth-budget distribution (log2 buckets would
+   lump most nets together: Kth values span less than a decade). *)
+let linear_bins ?(bins = 10) values =
+  match values with
+  | [||] -> []
+  | a ->
+      let lo = Array.fold_left Float.min a.(0) a in
+      let hi = Array.fold_left Float.max a.(0) a in
+      let w = if hi > lo then (hi -. lo) /. float_of_int bins else 1.0 in
+      let counts = Array.make bins 0 in
+      Array.iter
+        (fun v ->
+          let i = min (bins - 1) (int_of_float ((v -. lo) /. w)) in
+          counts.(max 0 i) <- counts.(max 0 i) + 1)
+        a;
+      List.init bins (fun i ->
+          ( Printf.sprintf "[%.3g, %.3g)"
+              (lo +. (float_of_int i *. w))
+              (lo +. (float_of_int (i + 1) *. w)),
+            float_of_int counts.(i) ))

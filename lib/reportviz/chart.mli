@@ -1,0 +1,24 @@
+(** Small inline-SVG charts for the run report: horizontal bar charts
+    with direct value labels (no axes to read), plus helpers to turn a
+    metrics histogram or a raw value array into chart rows. *)
+
+(** [bars rows] — one thin horizontal bar per [(label, value)] row,
+    scaled to the maximum value; each bar carries a tooltip and a direct
+    value label formatted with [fmt] (default ["%g"]).  Negative values
+    are clamped to zero.  [color] defaults to the report's series blue. *)
+val bars :
+  ?width:int ->
+  ?color:string ->
+  ?fmt:(float -> string) ->
+  (string * float) list ->
+  string
+
+(** [histogram h] — {!bars} over the occupied log2 buckets of a metrics
+    histogram, labelled with each bucket's value range. *)
+val histogram :
+  ?width:int -> ?color:string -> Eda_obs.Metrics.histogram_summary -> string
+
+(** [linear_bins ?bins values] — equal-width bins over the value range,
+    as [(range label, count)] rows ready for {!bars}; empty input gives
+    an empty list. *)
+val linear_bins : ?bins:int -> float array -> (string * float) list

@@ -1,0 +1,121 @@
+module Grid = Eda_grid.Grid
+module Dir = Eda_grid.Dir
+module Usage = Eda_grid.Usage
+module Cmap = Gsino.Congestion_map
+
+type mode = Utilization | Shields
+
+(* Sequential ramps, light -> dark.  Blue carries track utilization (the
+   report's primary magnitude); orange carries shield counts (the second
+   sequential context, a distinct hue so the two maps are never confused).
+   Red is reserved for the over-capacity *status* and is never the ramp:
+   over cells additionally get a dark stroke and a spelled-out tooltip, so
+   the state is not encoded by color alone. *)
+let blue_ramp =
+  [|
+    "#cde2fb"; "#b7d3f6"; "#9ec5f4"; "#86b6ef"; "#6da7ec"; "#5598e7";
+    "#3987e5"; "#2a78d6"; "#256abf"; "#1c5cab"; "#184f95"; "#104281";
+    "#0d366b";
+  |]
+
+let orange_ramp =
+  [|
+    "#fbe3c5"; "#f8d3a6"; "#f4c288"; "#eeb06c"; "#e79f52"; "#de8d3b";
+    "#d37d27"; "#c76e17"; "#b8600c"; "#a75406"; "#954a04"; "#834003";
+    "#713702";
+  |]
+
+let over_fill = "#e34948"
+let over_stroke = "#7f1d1d"
+let ink_muted = "#57534e"
+
+let clamp01 t = if t < 0.0 then 0.0 else if t > 1.0 then 1.0 else t
+
+let ramp_color ramp t =
+  let n = Array.length ramp in
+  let i = int_of_float (Float.round (clamp01 t *. float_of_int (n - 1))) in
+  ramp.(max 0 (min (n - 1) i))
+
+let label_attrs =
+  [
+    ("font-size", "11");
+    ("font-family", "system-ui, sans-serif");
+    ("fill", ink_muted);
+  ]
+
+let swatch ~x ~y ?(attrs = []) fill =
+  Svg.rect ~x ~y ~w:14.0 ~h:14.0
+    ~attrs:([ ("fill", fill); ("rx", "2") ] @ attrs)
+    ()
+
+let legend ~mode ~y ~max_shields =
+  let txt x s = Svg.text ~x ~y:(y +. 11.0) ~attrs:label_attrs s in
+  let stops = [ 0.0; 0.25; 0.5; 0.75; 1.0 ] in
+  let ramp = match mode with Utilization -> blue_ramp | Shields -> orange_ramp in
+  let x0 = 30.0 in
+  let swatches =
+    List.mapi
+      (fun i t -> swatch ~x:(x0 +. (float_of_int i *. 16.0)) ~y (ramp_color ramp t))
+      stops
+  in
+  let x_end = x0 +. (float_of_int (List.length stops) *. 16.0) +. 4.0 in
+  match mode with
+  | Utilization ->
+      (txt 0.0 "0%" :: swatches)
+      @ [
+          txt x_end "100%";
+          swatch ~x:(x_end +. 44.0) ~y
+            ~attrs:[ ("stroke", over_stroke); ("stroke-width", "1.5") ]
+            over_fill;
+          txt (x_end +. 62.0) "over capacity (util > 100%)";
+        ]
+  | Shields ->
+      (txt 0.0 "0" :: swatches)
+      @ [ txt x_end (Printf.sprintf "%d shields" max_shields) ]
+
+(* Cells are ~14px squares with a 2px surface gap; row y = height-1 (the
+   north edge of the grid) renders at the top. *)
+let render ?(cell_px = 14) ?(gap_px = 2) ~mode usage dir =
+  let grid = Usage.grid usage in
+  let w = Grid.width grid and h = Grid.height grid in
+  let cells = Cmap.cells usage dir in
+  let max_shields =
+    List.fold_left (fun m c -> max m c.Cmap.shields) 1 cells
+  in
+  let step = cell_px + gap_px in
+  let plot_w = (w * step) - gap_px in
+  let plot_h = (h * step) - gap_px in
+  let rects =
+    List.map
+      (fun c ->
+        let x = float_of_int (c.Cmap.x * step) in
+        let y = float_of_int ((h - 1 - c.Cmap.y) * step) in
+        let over = Cmap.over_capacity c in
+        let fill, extra =
+          match mode with
+          | Utilization ->
+              if over then
+                (over_fill, [ ("stroke", over_stroke); ("stroke-width", "1.5") ])
+              else (ramp_color blue_ramp c.Cmap.util, [])
+          | Shields ->
+              ( ramp_color orange_ramp
+                  (float_of_int c.Cmap.shields /. float_of_int max_shields),
+                [] )
+        in
+        let tooltip =
+          Printf.sprintf
+            "(%d,%d) %s: %d nets, %d shields, cap %d, util %.0f%%%s" c.Cmap.x
+            c.Cmap.y (Dir.to_string dir) c.Cmap.nets c.Cmap.shields c.Cmap.cap
+            (100.0 *. c.Cmap.util)
+            (if over then " - OVER CAPACITY" else "")
+        in
+        Svg.rect ~x ~y ~w:(float_of_int cell_px) ~h:(float_of_int cell_px)
+          ~attrs:(("fill", fill) :: ("rx", "2") :: extra)
+          ~tooltip ())
+      cells
+  in
+  let legend_y = float_of_int (plot_h + 10) in
+  let svg_w = max plot_w 420 in
+  let svg_h = plot_h + 10 + 14 + 4 in
+  Svg.svg ~w:svg_w ~h:svg_h
+    (rects @ legend ~mode ~y:legend_y ~max_shields)

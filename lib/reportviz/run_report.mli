@@ -1,0 +1,42 @@
+(** Self-contained run reports over a finished {!Gsino.Flow.result} and a
+    metrics {!Eda_obs.Metrics.snapshot}.
+
+    The HTML report is a single file with inline CSS and inline SVG — no
+    external assets, scripts or network references — containing headline
+    stat tiles, a per-phase timing table (this run plus the
+    process-cumulative [flow.phase_seconds] gauges), per-region
+    utilization and shield heatmaps for both routing directions, the
+    per-net noise-margin audit (worst first, against the technology's
+    sink noise bound), the Phase I Kth-budget distribution, charts of
+    every histogram instrument, and the plain-text metrics summary as an
+    appendix.
+
+    The text report carries the same story for terminals and logs:
+    {!Gsino.Flow.pp_summary}, the ASCII congestion map, the worst noise
+    margins and {!Gsino.Report.metrics_summary}. *)
+
+(** [html ~snapshot result] — the full report as an HTML string.  [tech]
+    (default {!Gsino.Tech.default}) must be the technology the flow ran
+    with: it supplies the LSK table and noise bound for the audit. *)
+val html :
+  ?tech:Gsino.Tech.t ->
+  ?title:string ->
+  snapshot:Eda_obs.Metrics.snapshot ->
+  Gsino.Flow.result ->
+  string
+
+(** [text ~snapshot result] — the plain-text report. *)
+val text :
+  ?tech:Gsino.Tech.t ->
+  snapshot:Eda_obs.Metrics.snapshot ->
+  Gsino.Flow.result ->
+  string
+
+(** [write_html ~snapshot path result] — {!html} to a file. *)
+val write_html :
+  ?tech:Gsino.Tech.t ->
+  ?title:string ->
+  snapshot:Eda_obs.Metrics.snapshot ->
+  string ->
+  Gsino.Flow.result ->
+  unit

@@ -1,0 +1,47 @@
+let escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | '\'' -> Buffer.add_string b "&#39;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+type attr = string * string
+
+let render_attrs attrs =
+  String.concat ""
+    (List.map (fun (k, v) -> Printf.sprintf " %s=\"%s\"" k (escape v)) attrs)
+
+let el tag attrs children =
+  Printf.sprintf "<%s%s>%s</%s>" tag (render_attrs attrs)
+    (String.concat "" children)
+    tag
+
+let leaf tag attrs = Printf.sprintf "<%s%s/>" tag (render_attrs attrs)
+
+let f x = Printf.sprintf "%g" x
+let i = string_of_int
+
+let text ~x ~y ?(attrs = []) s =
+  el "text" ([ ("x", f x); ("y", f y) ] @ attrs) [ escape s ]
+
+let rect ~x ~y ~w ~h ?(attrs = []) ?(tooltip = "") () =
+  let a = [ ("x", f x); ("y", f y); ("width", f w); ("height", f h) ] @ attrs in
+  if tooltip = "" then leaf "rect" a else el "rect" a [ el "title" [] [ escape tooltip ] ]
+
+let svg ~w ~h children =
+  el "svg"
+    [
+      ("xmlns", "http://www.w3.org/2000/svg");
+      ("viewBox", Printf.sprintf "0 0 %d %d" w h);
+      ("width", i w);
+      ("height", i h);
+      ("role", "img");
+    ]
+    children

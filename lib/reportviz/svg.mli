@@ -1,0 +1,41 @@
+(** Minimal inline-SVG builder for the run report.
+
+    Strings in, strings out: elements are rendered eagerly so the report
+    generator can concatenate fragments without an intermediate tree.
+    All attribute values and text content are XML-escaped. *)
+
+(** Escape the five XML special characters (ampersand, angle brackets,
+    quote, apostrophe) for use in attribute values or text nodes. *)
+val escape : string -> string
+
+type attr = string * string
+
+(** [el tag attrs children] — ["<tag a=\"v\">children</tag>"]. *)
+val el : string -> attr list -> string list -> string
+
+(** [leaf tag attrs] — self-closing ["<tag a=\"v\"/>"]. *)
+val leaf : string -> attr list -> string
+
+(** Float / int attribute formatting ([%g] / decimal). *)
+val f : float -> string
+
+val i : int -> string
+
+(** [text ~x ~y s] — a text node at (x, y), content escaped. *)
+val text : x:float -> y:float -> ?attrs:attr list -> string -> string
+
+(** [rect ~x ~y ~w ~h ()] — a rectangle; [?tooltip] adds a child
+    [<title>] element (the SVG-native hover tooltip). *)
+val rect :
+  x:float ->
+  y:float ->
+  w:float ->
+  h:float ->
+  ?attrs:attr list ->
+  ?tooltip:string ->
+  unit ->
+  string
+
+(** [svg ~w ~h children] — root element with viewBox [0 0 w h] and the
+    xmlns required for standalone rendering. *)
+val svg : w:int -> h:int -> string list -> string

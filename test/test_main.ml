@@ -16,4 +16,6 @@ let () =
          Test_extensions.suites;
          Test_refine.suites;
          Test_obs.suites;
+         Test_diff.suites;
+         Test_reportviz.suites;
        ])

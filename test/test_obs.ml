@@ -50,12 +50,36 @@ let test_json_rejects_garbage () =
   Alcotest.(check bool) "trailing garbage" true (bad "{} x");
   Alcotest.(check bool) "unterminated string" true (bad "\"abc");
   Alcotest.(check bool) "bare word" true (bad "flase");
-  Alcotest.(check bool) "empty" true (bad "")
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "two values" true (bad "1 2");
+  Alcotest.(check bool) "two lists" true (bad "[1] []");
+  Alcotest.(check bool) "second object" true (bad "{\"a\":1}{\"b\":2}")
 
 let test_json_unicode_escape () =
   match Json.of_string "\"a\\u00e9b\"" with
   | Ok (Json.Str s) -> Alcotest.(check string) "utf-8" "a\xc3\xa9b" s
   | Ok _ | Error _ -> Alcotest.fail "unicode escape did not parse to Str"
+
+let test_json_surrogate_pair () =
+  (* U+1F600 as a surrogate pair -> one 4-byte UTF-8 code point *)
+  (match Json.of_string "\"\\ud83d\\ude00\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "astral" "\xf0\x9f\x98\x80" s
+  | Ok _ | Error _ -> Alcotest.fail "surrogate pair did not parse");
+  (* a lone high surrogate keeps its own 3-byte encoding *)
+  match Json.of_string "\"\\ud83dx\"" with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "lone surrogate" "\xed\xa0\xbdx" s
+  | Ok _ | Error _ -> Alcotest.fail "lone surrogate did not parse"
+
+let test_json_bad_unicode_escape () =
+  let bad s =
+    match Json.of_string s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "non-hex digit" true (bad "\"\\u12g4\"");
+  (* int_of_string liberties like underscores or 0x must not leak in *)
+  Alcotest.(check bool) "underscore" true (bad "\"\\u1_23\"");
+  Alcotest.(check bool) "0x prefix" true (bad "\"\\u0x12\"");
+  Alcotest.(check bool) "too short" true (bad "\"\\u12\"")
 
 let test_json_member () =
   let j = Json.Obj [ ("a", Json.Int 1) ] in
@@ -213,6 +237,32 @@ let test_ring_capacity_and_dropped () =
     (List.map (fun e -> e.Trace.name) evs);
   Trace.disable ()
 
+let test_dropped_spans_counter () =
+  fresh ();
+  Trace.enable ~capacity:4 ();
+  for i = 1 to 10 do
+    Trace.instant (Printf.sprintf "d%d" i)
+  done;
+  (* every ring overwrite also shows up in the exported metrics *)
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter mirrors dropped ()" (Trace.dropped ())
+    (Metrics.counter_total snap "trace.dropped_spans");
+  Alcotest.(check int) "six overwrites" 6
+    (Metrics.counter_total snap "trace.dropped_spans");
+  Trace.disable ()
+
+let test_dropped_spans_zero_without_wrap () =
+  fresh ();
+  Trace.enable ();
+  Trace.instant "one";
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "registered at zero" 0
+    (Metrics.counter_total snap "trace.dropped_spans");
+  Alcotest.(check bool)
+    "series present even when zero" true
+    (Metrics.find snap "trace.dropped_spans" <> None);
+  Trace.disable ()
+
 let test_disabled_is_noop () =
   fresh ();
   Alcotest.(check bool) "disabled" false (Trace.enabled ());
@@ -301,6 +351,9 @@ let suites =
         Alcotest.test_case "non-finite -> null" `Quick test_json_nonfinite_is_null;
         Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
         Alcotest.test_case "unicode escapes" `Quick test_json_unicode_escape;
+        Alcotest.test_case "surrogate pairs" `Quick test_json_surrogate_pair;
+        Alcotest.test_case "bad unicode escapes" `Quick
+          test_json_bad_unicode_escape;
         Alcotest.test_case "member" `Quick test_json_member;
       ] );
     ( "obs.metrics",
@@ -319,6 +372,10 @@ let suites =
         Alcotest.test_case "span nesting" `Quick test_span_nesting;
         Alcotest.test_case "closes on raise" `Quick test_span_closes_on_raise;
         Alcotest.test_case "ring capacity" `Quick test_ring_capacity_and_dropped;
+        Alcotest.test_case "dropped_spans counter" `Quick
+          test_dropped_spans_counter;
+        Alcotest.test_case "dropped_spans zero" `Quick
+          test_dropped_spans_zero_without_wrap;
         Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
         Alcotest.test_case "chrome json parses" `Quick test_chrome_json_parses;
       ] );
