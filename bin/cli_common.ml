@@ -1,0 +1,183 @@
+(* cli_common — flags, exit codes and observability plumbing shared by
+   the gsino_* command-line drivers.
+
+   Every binary exposes the same conventions: --trace/--metrics/--report
+   accept '-' for stdout, at most one sink may claim it, and a claimed
+   stdout silences the human-readable output so the artifact stays
+   machine-parseable.  Exit codes are uniform across the drivers:
+   0 success, 1 findings/regression breach, 2 usage or environment
+   error. *)
+open Cmdliner
+open Gsino
+module Generator = Eda_netlist.Generator
+module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
+module Log = Eda_obs.Log
+module Diag = Eda_check.Diag
+
+(* ---------------- exit codes ---------------- *)
+
+let exit_ok = 0
+let exit_findings = 1
+let exit_usage = 2
+
+(* ---------------- shared flags ---------------- *)
+
+let circuit_arg =
+  let doc = "Benchmark circuit (ibm01..ibm06)." in
+  Arg.(value & opt string "ibm01" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
+
+let scale_arg ?(default = 0.05) () =
+  let doc =
+    "Instance scale in (0,1]: net count scales linearly, region count \
+     proportionally; chip dimensions and physical net lengths stay at the \
+     published values."
+  in
+  Arg.(value & opt float default & info [ "s"; "scale" ] ~docv:"S" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for placement, sensitivity and heuristics." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
+
+let rate_arg =
+  let doc = "Sensitivity rate (fraction of net pairs sensitive to each other)." in
+  Arg.(value & opt float 0.30 & info [ "r"; "rate" ] ~docv:"R" ~doc)
+
+let router_arg =
+  let doc =
+    "Global router: 'id' (the paper's iterative deletion) or 'nc' \
+     (negotiated congestion)."
+  in
+  Arg.(value
+     & opt (enum [ ("id", Flow.Iterative_deletion); ("nc", Flow.Negotiated) ])
+         Flow.Iterative_deletion
+     & info [ "router" ] ~docv:"ENGINE" ~doc)
+
+let budgeting_arg =
+  let doc =
+    "Crosstalk budgeting: 'uniform' (the paper's Manhattan split) or \
+     'route-aware'."
+  in
+  Arg.(value
+     & opt (enum [ ("uniform", Flow.Uniform); ("route-aware", Flow.Route_aware) ])
+         Flow.Uniform
+     & info [ "budgeting" ] ~docv:"MODE" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Worker domains for the parallel flow sections (Phase II panels, Phase \
+     III noise scans, per-net candidate preparation).  1 runs fully \
+     sequentially; any value yields identical routing results (see \
+     DESIGN.md).  Defaults to the machine's recommended domain count, \
+     capped at 8."
+  in
+  Arg.(value
+     & opt int (Eda_exec.default_jobs ())
+     & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let netlist_file_arg ~doc =
+  Arg.(value & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc)
+
+let trace_arg =
+  let doc =
+    "Record spans of the whole run and write a Chrome-trace JSON file to \
+     $(docv) on exit (load it in chrome://tracing or ui.perfetto.dev); \
+     '-' writes it to stdout and silences the human-readable output."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc =
+    "Write the metrics registry (gsino-metrics-v1 JSON: per-phase counters, \
+     gauges and histograms) to $(docv) on exit; '-' writes it to stdout \
+     and silences the human-readable output."
+  in
+  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+
+let report_arg =
+  let doc =
+    "Write a self-contained HTML run report for the GSINO flow (congestion \
+     and shield heatmaps, noise-margin audit, phase timings, metric charts) \
+     to $(docv); '-' prints the plain-text report to stdout instead."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+
+let verbose_arg =
+  let doc = "Verbose logging (level debug; overrides GSINO_LOG)." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let quiet_arg =
+  let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+(* ---------------- stdout arbitration ---------------- *)
+
+(* "-" routes an artifact to stdout.  At most one artifact may claim
+   stdout; when one does the human-readable output is silenced (a null
+   formatter) so the artifact stays machine-parseable. *)
+let claim_stdout ~prog sinks =
+  match List.filter (fun s -> s = Some "-") sinks with
+  | [] -> false
+  | [ _ ] -> true
+  | _ :: _ :: _ ->
+      Format.eprintf
+        "%s: at most one of --trace/--metrics/--report may be '-'@." prog;
+      exit exit_usage
+
+let out_formatter ~claimed =
+  if claimed then Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+  else Format.std_formatter
+
+(* ---------------- observability lifecycle ---------------- *)
+
+let write_trace = function
+  | None -> ()
+  | Some "-" -> print_endline (Eda_obs.Json.to_string (Trace.to_chrome_json ()))
+  | Some file -> Trace.write_chrome file
+
+let write_metrics = function
+  | None -> ()
+  | Some "-" ->
+      print_endline
+        (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
+  | Some file -> Metrics.write_json file (Metrics.snapshot ())
+
+(* Apply -v/-q, enable tracing when requested, run [f], then flush the
+   trace/metrics artifacts even if [f] raises.  A disconnected-grid
+   failure from the negotiated router surfaces as a GSL0017 diagnostic
+   and exit code 2 instead of an uncaught exception ([pretty] switches
+   that diagnostic to the human-readable renderer). *)
+let with_obs ?(pretty = false) ~trace ~metrics ~verbose ~quiet f =
+  if quiet then Log.set_level Log.Quiet
+  else if verbose then Log.set_level (Log.Level Log.Debug);
+  (match trace with Some _ -> Trace.enable () | None -> ());
+  let finish () =
+    write_trace trace;
+    write_metrics metrics
+  in
+  Fun.protect ~finally:finish (fun () ->
+      try f ()
+      with Nc_router.Unreachable { net; region } ->
+        let d = Nc_router.unreachable_diag ~net ~region in
+        if pretty then Format.eprintf "%a@." Diag.pp d
+        else prerr_endline (Diag.to_line d);
+        exit exit_usage)
+
+(* ---------------- netlist acquisition ---------------- *)
+
+let profile_of_name name =
+  match Generator.find_ibm name with
+  | Some p -> p
+  | None ->
+      Format.eprintf "unknown circuit %s (expected ibm01..ibm06)@." name;
+      exit exit_usage
+
+let netlist_of tech ~circuit ~scale ~seed = function
+  | Some file -> (
+      try Eda_netlist.Io.load file
+      with Sys_error msg | Failure msg | Invalid_argument msg ->
+        Format.eprintf "cannot load netlist %s: %s@." file msg;
+        exit exit_usage)
+  | None ->
+      Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
+        (profile_of_name circuit)

@@ -8,6 +8,8 @@
 open Cmdliner
 module Metrics = Eda_obs.Metrics
 module Diff = Eda_obs.Diff
+module Log = Eda_obs.Log
+module C = Cli_common
 
 let baseline_arg =
   let doc = "Baseline metrics snapshot (gsino-metrics-v1 JSON)." in
@@ -34,7 +36,7 @@ let load path =
   | Ok s -> s
   | Error msg ->
       Format.eprintf "gsino_diff: %s@." msg;
-      exit 2
+      exit C.exit_usage
 
 let count f entries = List.length (List.filter f entries)
 
@@ -53,7 +55,9 @@ let is_changed e =
   | Diff.Changed _ -> true
   | Diff.Added _ | Diff.Removed _ | Diff.Unchanged _ -> false
 
-let run policy all baseline current =
+let run policy all verbose quiet baseline current =
+  if quiet then Log.set_level Log.Quiet
+  else if verbose then Log.set_level (Log.Level Log.Debug);
   let entries = Diff.diff (load baseline) (load current) in
   let shown = List.filter (fun e -> all || Diff.changed e) entries in
   if shown = [] then print_endline "no metric drift"
@@ -66,25 +70,25 @@ let run policy all baseline current =
       (count is_changed entries)
   end;
   match policy with
-  | None -> 0
+  | None -> C.exit_ok
   | Some file -> (
       match Diff.load_policy file with
       | Error msg ->
           Format.eprintf "gsino_diff: %s@." msg;
-          exit 2
+          exit C.exit_usage
       | Ok p -> (
           match Diff.check p entries with
           | [] ->
               Format.printf "regression gate: OK (%d guarded metrics)@."
                 (List.length p.Diff.tolerances);
-              0
+              C.exit_ok
           | breaches ->
               Format.printf "regression gate: %d breach(es)@."
                 (List.length breaches);
               List.iter
                 (fun b -> Format.printf "  BREACH %a@." Diff.pp_breach b)
                 breaches;
-              1))
+              C.exit_findings))
 
 let cmd =
   let doc = "Diff two gsino-metrics-v1 snapshots and gate on a policy" in
@@ -105,6 +109,7 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "gsino_diff" ~version:"1.0.0" ~doc ~man)
-    Term.(const run $ policy_arg $ all_arg $ baseline_arg $ current_arg)
+    Term.(const run $ policy_arg $ all_arg $ C.verbose_arg $ C.quiet_arg
+          $ baseline_arg $ current_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -3,49 +3,19 @@
    Runs one or more flows (on a generated benchmark or a saved netlist
    file) and audits every result with the Eda_check invariant rules,
    printing coded GSL diagnostics.  Exit status: 0 when no
-   Error-severity finding fired, 1 otherwise — so CI can gate on it. *)
+   Error-severity finding fired, 1 otherwise — so CI can gate on it.
+
+   Shared flags (--trace/--metrics sinks, -v/-q, --jobs, circuit
+   selection) come from Cli_common. *)
 open Cmdliner
 open Gsino
-module Generator = Eda_netlist.Generator
-module Sensitivity = Eda_netlist.Sensitivity
 module Diag = Eda_check.Diag
-module Metrics = Eda_obs.Metrics
-module Trace = Eda_obs.Trace
-module Log = Eda_obs.Log
-
-let circuit_arg =
-  let doc = "Benchmark circuit (ibm01..ibm06)." in
-  Arg.(value & opt string "ibm01" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
-
-let scale_arg =
-  let doc = "Instance scale in (0,1]." in
-  Arg.(value & opt float 0.02 & info [ "s"; "scale" ] ~docv:"S" ~doc)
-
-let seed_arg =
-  let doc = "Random seed for placement, sensitivity and heuristics." in
-  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
-
-let rate_arg =
-  let doc = "Sensitivity rate." in
-  Arg.(value & opt float 0.30 & info [ "r"; "rate" ] ~docv:"R" ~doc)
-
-let router_arg =
-  let doc = "Global router: 'id' or 'nc'." in
-  Arg.(value
-     & opt (enum [ ("id", Flow.Iterative_deletion); ("nc", Flow.Negotiated) ])
-         Flow.Iterative_deletion
-     & info [ "router" ] ~docv:"ENGINE" ~doc)
-
-let budgeting_arg =
-  let doc = "Crosstalk budgeting: 'uniform' or 'route-aware'." in
-  Arg.(value
-     & opt (enum [ ("uniform", Flow.Uniform); ("route-aware", Flow.Route_aware) ])
-         Flow.Uniform
-     & info [ "budgeting" ] ~docv:"MODE" ~doc)
+module Sensitivity = Eda_netlist.Sensitivity
+module C = Cli_common
 
 let netlist_file_arg =
-  let doc = "Audit FILE (gsino-netlist v1) instead of a generated circuit." in
-  Arg.(value & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc)
+  C.netlist_file_arg
+    ~doc:"Audit FILE (gsino-netlist v1) instead of a generated circuit."
 
 let kind_arg =
   let doc =
@@ -75,97 +45,20 @@ let errors_only_arg =
   let doc = "Only print Error-severity diagnostics." in
   Arg.(value & flag & info [ "e"; "errors-only" ] ~doc)
 
-let trace_arg =
-  let doc =
-    "Record spans of the audited flows and write Chrome-trace JSON to \
-     $(docv) (chrome://tracing / Perfetto); '-' writes it to stdout and \
-     silences the diagnostics."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let metrics_arg =
-  let doc =
-    "Write the metrics registry (gsino-metrics-v1 JSON) to $(docv); '-' \
-     writes it to stdout and silences the diagnostics."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
-
-let verbose_arg =
-  let doc = "Verbose logging (level debug; overrides GSINO_LOG)." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
-
-let quiet_arg =
-  let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
-  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
-
-(* "-" routes an artifact to stdout.  At most one may claim it; when one
-   does the diagnostics are silenced (a null formatter) so the artifact
-   stays machine-parseable. *)
-let claim_stdout sinks =
-  match List.filter (fun s -> s = Some "-") sinks with
-  | [] -> false
-  | [ _ ] -> true
-  | _ :: _ :: _ ->
-      Format.eprintf
-        "gsino_lint: at most one of --trace/--metrics may be '-'@.";
-      exit 2
-
-let out_formatter ~claimed =
-  if claimed then Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
-  else Format.std_formatter
-
-let lint circuit scale seed rate router budgeting netlist_file kinds pretty
-    max_print errors_only trace metrics verbose quiet =
-  let claimed = claim_stdout [ trace; metrics ] in
-  let out = out_formatter ~claimed in
-  if quiet then Log.set_level Log.Quiet
-  else if verbose then Log.set_level (Log.Level Log.Debug);
-  (match trace with Some _ -> Trace.enable () | None -> ());
-  let flush_obs () =
-    (match trace with
-    | Some "-" ->
-        print_endline (Eda_obs.Json.to_string (Trace.to_chrome_json ()))
-    | Some file -> Trace.write_chrome file
-    | None -> ());
-    match metrics with
-    | Some "-" ->
-        print_endline
-          (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
-    | Some file -> Metrics.write_json file (Metrics.snapshot ())
-    | None -> ()
-  in
-  Fun.protect ~finally:flush_obs @@ fun () ->
-  (* disconnected grid: report through the lint channel, not an uncaught
-     exception *)
-  (fun body ->
-    try body ()
-    with Nc_router.Unreachable { net; region } ->
-      let d = Nc_router.unreachable_diag ~net ~region in
-      if pretty then Format.eprintf "%a@." Diag.pp d
-      else prerr_endline (Diag.to_line d);
-      exit 2)
-  @@ fun () ->
+let lint circuit scale seed rate router budgeting jobs netlist_file kinds
+    pretty max_print errors_only trace metrics verbose quiet =
+  let claimed = C.claim_stdout ~prog:"gsino_lint" [ trace; metrics ] in
+  let out = C.out_formatter ~claimed in
+  C.with_obs ~pretty ~trace ~metrics ~verbose ~quiet @@ fun () ->
   let tech = Tech.default in
-  let netlist =
-    match netlist_file with
-    | Some file -> (
-        try Eda_netlist.Io.load file
-        with Sys_error msg | Failure msg | Invalid_argument msg ->
-          Format.eprintf "cannot load netlist %s: %s@." file msg;
-          exit 2)
-    | None -> (
-        match Generator.find_ibm circuit with
-        | Some p -> Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed p
-        | None ->
-            Format.eprintf "unknown circuit %s (expected ibm01..ibm06)@." circuit;
-            exit 2)
+  let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
+  let config kind =
+    { Flow.Config.default with Flow.Config.kind; router; budgeting; seed; jobs }
   in
-  let grid, base = Flow.prepare ~router tech netlist in
+  let grid, base = Flow.prepare ~config:(config Flow.Gsino) tech netlist in
   let sensitivity = Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
   let lint_one kind =
-    let r =
-      Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid ~base netlist kind
-    in
+    let r = Flow.run ~grid ~base (config kind) tech ~sensitivity netlist in
     let diags = Flow.check ~tech r in
     let shown =
       List.filter
@@ -187,7 +80,7 @@ let lint circuit scale seed rate router budgeting netlist_file kinds pretty
     diags
   in
   let all = List.concat_map lint_one kinds in
-  if Diag.has_errors all then 1 else 0
+  if Diag.has_errors all then C.exit_findings else C.exit_ok
 
 let cmd =
   let doc = "Check routing-solution invariants and report coded diagnostics" in
@@ -206,9 +99,10 @@ let cmd =
   Cmd.v
     (Cmd.info "gsino_lint" ~version:"1.0.0" ~doc ~man)
     Term.(
-      const lint $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ router_arg
-      $ budgeting_arg $ netlist_file_arg $ kind_arg $ pretty_arg
-      $ max_print_arg $ errors_only_arg $ trace_arg $ metrics_arg
-      $ verbose_arg $ quiet_arg)
+      const lint $ C.circuit_arg $ C.scale_arg ~default:0.02 () $ C.seed_arg
+      $ C.rate_arg $ C.router_arg $ C.budgeting_arg $ C.jobs_arg
+      $ netlist_file_arg $ kind_arg $ pretty_arg $ max_print_arg
+      $ errors_only_arg $ C.trace_arg $ C.metrics_arg $ C.verbose_arg
+      $ C.quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

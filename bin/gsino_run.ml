@@ -4,164 +4,41 @@
      run    — one circuit, one rate, all three flows
      suite  — the paper's full evaluation (Tables 1-3)
      table  — dump the LSK -> noise lookup table
-     bounds — show the crosstalk budget statistics for a circuit *)
+     bounds — show the crosstalk budget statistics for a circuit
+
+   The flags shared with the other drivers (--trace/--metrics/--report
+   sinks, -v/-q, --jobs, circuit selection) live in Cli_common. *)
 open Cmdliner
 open Gsino
-module Generator = Eda_netlist.Generator
 module Metrics = Eda_obs.Metrics
-module Trace = Eda_obs.Trace
-module Log = Eda_obs.Log
-
-(* ---------------- observability plumbing (shared by subcommands) ----- *)
-
-let trace_arg =
-  let doc =
-    "Record spans of the whole run and write a Chrome-trace JSON file to \
-     $(docv) on exit (load it in chrome://tracing or ui.perfetto.dev); \
-     '-' writes it to stdout and silences the human-readable output."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let metrics_arg =
-  let doc =
-    "Write the metrics registry (gsino-metrics-v1 JSON: per-phase counters, \
-     gauges and histograms) to $(docv) on exit; '-' writes it to stdout \
-     and silences the human-readable output."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
-
-let verbose_arg =
-  let doc = "Verbose logging (level debug; overrides GSINO_LOG)." in
-  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
-
-let quiet_arg =
-  let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
-  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
-
-(* "-" routes an artifact to stdout.  At most one artifact may claim
-   stdout; when one does the human-readable output is silenced (a null
-   formatter) so the artifact stays machine-parseable. *)
-let claim_stdout sinks =
-  match List.filter (fun s -> s = Some "-") sinks with
-  | [] -> false
-  | [ _ ] -> true
-  | _ :: _ :: _ ->
-      Format.eprintf
-        "gsino_run: at most one of --trace/--metrics/--report may be '-'@.";
-      exit 2
-
-let out_formatter ~claimed =
-  if claimed then Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
-  else Format.std_formatter
-
-let write_trace = function
-  | None -> ()
-  | Some "-" -> print_endline (Eda_obs.Json.to_string (Trace.to_chrome_json ()))
-  | Some file -> Trace.write_chrome file
-
-let write_metrics = function
-  | None -> ()
-  | Some "-" ->
-      print_endline
-        (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
-  | Some file -> Metrics.write_json file (Metrics.snapshot ())
-
-(* Apply -v/-q, enable tracing when requested, run [f], then flush the
-   trace/metrics artifacts even if [f] raises.  A disconnected-grid
-   failure from the negotiated router surfaces as a GSL0017 diagnostic
-   and exit code 2 instead of an uncaught exception. *)
-let with_obs ~trace ~metrics ~verbose ~quiet f =
-  if quiet then Log.set_level Log.Quiet
-  else if verbose then Log.set_level (Log.Level Log.Debug);
-  (match trace with Some _ -> Trace.enable () | None -> ());
-  let finish () =
-    write_trace trace;
-    write_metrics metrics
-  in
-  Fun.protect ~finally:finish (fun () ->
-      try f ()
-      with Nc_router.Unreachable { net; region } ->
-        prerr_endline
-          (Eda_check.Diag.to_line (Nc_router.unreachable_diag ~net ~region));
-        exit 2)
-
-let circuit_arg =
-  let doc = "Benchmark circuit (ibm01..ibm06)." in
-  Arg.(value & opt string "ibm01" & info [ "c"; "circuit" ] ~docv:"NAME" ~doc)
-
-let scale_arg =
-  let doc =
-    "Instance scale in (0,1]: net count scales linearly, region count \
-     proportionally; chip dimensions and physical net lengths stay at the \
-     published values."
-  in
-  Arg.(value & opt float 0.05 & info [ "s"; "scale" ] ~docv:"S" ~doc)
-
-let seed_arg =
-  let doc = "Random seed for placement, sensitivity and heuristics." in
-  Arg.(value & opt int 7 & info [ "seed" ] ~docv:"N" ~doc)
-
-let rate_arg =
-  let doc = "Sensitivity rate (fraction of net pairs sensitive to each other)." in
-  Arg.(value & opt float 0.30 & info [ "r"; "rate" ] ~docv:"R" ~doc)
-
-let router_arg =
-  let doc = "Global router: 'id' (the paper's iterative deletion) or 'nc' \
-             (negotiated congestion)." in
-  Arg.(value & opt (enum [ ("id", Flow.Iterative_deletion); ("nc", Flow.Negotiated) ])
-         Flow.Iterative_deletion
-     & info [ "router" ] ~docv:"ENGINE" ~doc)
-
-let budgeting_arg =
-  let doc = "Crosstalk budgeting: 'uniform' (the paper's Manhattan split) or \
-             'route-aware'." in
-  Arg.(value & opt (enum [ ("uniform", Flow.Uniform); ("route-aware", Flow.Route_aware) ])
-         Flow.Uniform
-     & info [ "budgeting" ] ~docv:"MODE" ~doc)
+module C = Cli_common
 
 let netlist_file_arg =
-  let doc = "Load the netlist from FILE (gsino-netlist v1) instead of \
-             generating one." in
-  Arg.(value & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc)
-
-let profile_of_name name =
-  match Generator.find_ibm name with
-  | Some p -> p
-  | None ->
-      Format.eprintf "unknown circuit %s (expected ibm01..ibm06)@." name;
-      exit 2
-
-let netlist_of tech circuit scale seed = function
-  | Some file -> Eda_netlist.Io.load file
-  | None ->
-      Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
-        (profile_of_name circuit)
-
-let report_arg =
-  let doc =
-    "Write a self-contained HTML run report for the GSINO flow (congestion \
-     and shield heatmaps, noise-margin audit, phase timings, metric charts) \
-     to $(docv); '-' prints the plain-text report to stdout instead."
-  in
-  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
+  C.netlist_file_arg
+    ~doc:
+      "Load the netlist from FILE (gsino-netlist v1) instead of generating \
+       one."
 
 let run_cmd =
-  let run circuit scale seed rate router budgeting netlist_file trace metrics
-      report verbose quiet =
-    let claimed = claim_stdout [ trace; metrics; report ] in
-    let out = out_formatter ~claimed in
-    with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
+  let run circuit scale seed rate router budgeting jobs netlist_file trace
+      metrics report verbose quiet =
+    let claimed = C.claim_stdout ~prog:"gsino_run" [ trace; metrics; report ] in
+    let out = C.out_formatter ~claimed in
+    C.with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let tech = Tech.default in
-    let netlist = netlist_of tech circuit scale seed netlist_file in
+    let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
     Format.fprintf out "%a@." Eda_netlist.Netlist.pp_summary netlist;
-    let grid, base = Flow.prepare ~router tech netlist in
+    let config kind =
+      { Flow.Config.default with Flow.Config.kind; router; budgeting; seed; jobs }
+    in
+    let grid, base = Flow.prepare ~config:(config Flow.Id_no) tech netlist in
     Format.fprintf out "%a@.@." Eda_grid.Grid.pp grid;
     let sensitivity = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
     let flows =
       [
-        Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid ~base netlist Flow.Id_no;
-        Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid ~base netlist Flow.Isino;
-        Flow.run tech ~sensitivity ~seed ~router ~budgeting ~grid netlist Flow.Gsino;
+        Flow.run ~grid ~base (config Flow.Id_no) tech ~sensitivity netlist;
+        Flow.run ~grid ~base (config Flow.Isino) tech ~sensitivity netlist;
+        Flow.run ~grid (config Flow.Gsino) tech ~sensitivity netlist;
       ]
     in
     List.iter (fun r -> Format.fprintf out "%a@." Flow.pp_summary r) flows;
@@ -206,18 +83,20 @@ let run_cmd =
   in
   let doc = "Run ID+NO, iSINO and GSINO on one circuit at one sensitivity rate." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ router_arg
-          $ budgeting_arg $ netlist_file_arg $ trace_arg $ metrics_arg
-          $ report_arg $ verbose_arg $ quiet_arg)
+    Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
+          $ C.router_arg $ C.budgeting_arg $ C.jobs_arg $ netlist_file_arg
+          $ C.trace_arg $ C.metrics_arg $ C.report_arg $ C.verbose_arg
+          $ C.quiet_arg)
 
 let map_cmd =
-  let run circuit scale seed rate netlist_file =
+  let run circuit scale seed rate jobs netlist_file =
     let tech = Tech.default in
-    let netlist = netlist_of tech circuit scale seed netlist_file in
-    let grid, base = Flow.prepare tech netlist in
+    let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
+    let config kind = { Flow.Config.default with Flow.Config.kind; seed; jobs } in
+    let grid, base = Flow.prepare ~config:(config Flow.Id_no) tech netlist in
     let sensitivity = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
-    let idno = Flow.run tech ~sensitivity ~seed ~grid ~base netlist Flow.Id_no in
-    let gsino = Flow.run tech ~sensitivity ~seed ~grid netlist Flow.Gsino in
+    let idno = Flow.run ~grid ~base (config Flow.Id_no) tech ~sensitivity netlist in
+    let gsino = Flow.run ~grid (config Flow.Gsino) tech ~sensitivity netlist in
     Format.printf "%a@.@." Eda_netlist.Netlist.pp_summary netlist;
     Format.printf "conventional routing (nets only):@.%a@." Congestion_map.render
       idno.Flow.usage;
@@ -226,14 +105,15 @@ let map_cmd =
   in
   let doc = "Print ASCII congestion maps before and after GSINO." in
   Cmd.v (Cmd.info "map" ~doc)
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ rate_arg $ netlist_file_arg)
+    Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
+          $ C.jobs_arg $ netlist_file_arg)
 
 let gen_cmd =
   let run circuit scale seed out =
     let tech = Tech.default in
     let netlist =
-      Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
-        (profile_of_name circuit)
+      Eda_netlist.Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
+        (C.profile_of_name circuit)
     in
     Eda_netlist.Io.save out netlist;
     Format.printf "wrote %a to %s@." Eda_netlist.Netlist.pp_summary netlist out
@@ -244,19 +124,19 @@ let gen_cmd =
   in
   let doc = "Generate a synthetic benchmark netlist and save it." in
   Cmd.v (Cmd.info "gen" ~doc)
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg $ out_arg)
+    Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ out_arg)
 
 let suite_cmd =
-  let run scale seed circuits trace metrics verbose quiet =
-    let claimed = claim_stdout [ trace; metrics ] in
-    let out = out_formatter ~claimed in
-    with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
+  let run scale seed jobs circuits trace metrics verbose quiet =
+    let claimed = C.claim_stdout ~prog:"gsino_run" [ trace; metrics ] in
+    let out = C.out_formatter ~claimed in
+    C.with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let profiles =
       match circuits with
-      | [] -> Generator.all_ibm
-      | names -> List.map profile_of_name names
+      | [] -> Eda_netlist.Generator.all_ibm
+      | names -> List.map C.profile_of_name names
     in
-    let suite = Report.run_suite ~profiles ~scale ~seed () in
+    let suite = Report.run_suite ~profiles ~jobs ~scale ~seed () in
     Format.fprintf out "%a@.%a@.%a@.%a@.%a@.%a@.%a@." Report.table1 suite
       Report.table2 suite Report.table3 suite Report.violations_summary suite
       Report.timing_summary suite Report.lint_summary suite
@@ -268,8 +148,8 @@ let suite_cmd =
   in
   let doc = "Reproduce the paper's Tables 1-3 (both sensitivity rates)." in
   Cmd.v (Cmd.info "suite" ~doc)
-    Term.(const run $ scale_arg $ seed_arg $ circuits_arg $ trace_arg
-          $ metrics_arg $ verbose_arg $ quiet_arg)
+    Term.(const run $ C.scale_arg () $ C.seed_arg $ C.jobs_arg $ circuits_arg
+          $ C.trace_arg $ C.metrics_arg $ C.verbose_arg $ C.quiet_arg)
 
 let table_cmd =
   let run () =
@@ -283,9 +163,10 @@ let table_cmd =
 let bounds_cmd =
   let run circuit scale seed =
     let tech = Tech.default in
-    let profile = profile_of_name circuit in
+    let profile = C.profile_of_name circuit in
     let netlist =
-      Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed profile
+      Eda_netlist.Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
+        profile
     in
     let budget =
       Budget.uniform ~lsk:(Tech.lsk_model tech) ~noise_v:tech.Tech.noise_bound_v
@@ -295,7 +176,7 @@ let bounds_cmd =
   in
   let doc = "Show the Phase-I crosstalk budget statistics for a circuit." in
   Cmd.v (Cmd.info "bounds" ~doc)
-    Term.(const run $ circuit_arg $ scale_arg $ seed_arg)
+    Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg)
 
 let () =
   let doc = "Global routing with RLC crosstalk constraints (Ma & He, DAC 2002)" in

@@ -18,8 +18,9 @@ let () =
   let lsk_model = Tech.lsk_model base_tech in
 
   (* baseline for overhead computation *)
+  let config kind = { Flow.Config.default with Flow.Config.kind; seed = 1 } in
   let idno =
-    Flow.run base_tech ~sensitivity ~seed:1 ~grid ~base:routes netlist Flow.Id_no
+    Flow.run ~grid ~base:routes (config Flow.Id_no) base_tech ~sensitivity netlist
   in
   let _, _, base_area = idno.Flow.area in
 
@@ -28,8 +29,8 @@ let () =
     (fun bound_v ->
       let tech = { base_tech with Tech.noise_bound_v = bound_v } in
       let budget_lsk = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
-      let idno_b = Flow.run tech ~sensitivity ~seed:1 ~grid ~base:routes netlist Flow.Id_no in
-      let gsino = Flow.run tech ~sensitivity ~seed:1 ~grid netlist Flow.Gsino in
+      let idno_b = Flow.run ~grid ~base:routes (config Flow.Id_no) tech ~sensitivity netlist in
+      let gsino = Flow.run ~grid (config Flow.Gsino) tech ~sensitivity netlist in
       let _, _, a = gsino.Flow.area in
       Format.printf "%.2fV   %7.0f      %5d (%5.2f%%)      %6d       %+6.2f%%  (residual %d)@."
         bound_v budget_lsk

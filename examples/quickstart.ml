@@ -24,9 +24,10 @@ let () =
 
   (* 4. run ID+NO (conventional), iSINO (post-hoc shielding) and GSINO
      (the paper's three-phase crosstalk-aware flow) *)
-  let idno = Flow.run tech ~sensitivity ~seed:1 ~grid ~base netlist Flow.Id_no in
-  let isino = Flow.run tech ~sensitivity ~seed:1 ~grid ~base netlist Flow.Isino in
-  let gsino = Flow.run tech ~sensitivity ~seed:1 ~grid netlist Flow.Gsino in
+  let config kind = { Flow.Config.default with Flow.Config.kind; seed = 1 } in
+  let idno = Flow.run ~grid ~base (config Flow.Id_no) tech ~sensitivity netlist in
+  let isino = Flow.run ~grid ~base (config Flow.Isino) tech ~sensitivity netlist in
+  let gsino = Flow.run ~grid (config Flow.Gsino) tech ~sensitivity netlist in
 
   Format.printf "@.%a@.%a@.%a@." Flow.pp_summary idno Flow.pp_summary isino
     Flow.pp_summary gsino;

@@ -12,6 +12,31 @@ type kind = Id_no | Isino | Gsino
 
 let kind_name = function Id_no -> "ID+NO" | Isino -> "iSINO" | Gsino -> "GSINO"
 
+type router = Iterative_deletion | Negotiated
+
+type budgeting = Uniform | Route_aware
+
+module Config = struct
+  type t = {
+    kind : kind;
+    router : router;
+    budgeting : budgeting;
+    jobs : int;
+    seed : int;
+    cap_quantile : float;
+  }
+
+  let default =
+    {
+      kind = Gsino;
+      router = Iterative_deletion;
+      budgeting = Uniform;
+      jobs = 1;
+      seed = 7;
+      cap_quantile = 0.90;
+    }
+end
+
 type result = {
   kind : kind;
   netlist : Netlist.t;
@@ -40,9 +65,7 @@ let m_sino_s = m_phase_s "sino"
 let m_refine_s = m_phase_s "refine"
 let m_runs = Metrics.counter "flow.runs"
 
-type router = Iterative_deletion | Negotiated
-
-let route_with router tech grid netlist shield_model =
+let route_with ?pool router tech grid netlist shield_model =
   match router with
   | Iterative_deletion ->
       Id_router.route ~grid ~netlist
@@ -52,11 +75,11 @@ let route_with router tech grid netlist shield_model =
             beta = tech.Tech.beta;
             gamma = tech.Tech.gamma;
           }
-        ~shield_model ()
+        ~shield_model ?pool ()
   | Negotiated -> Nc_router.route ~grid ~netlist ~shield_model ()
 
-let base_routes ?(router = Iterative_deletion) tech grid netlist =
-  route_with router tech grid netlist Id_router.No_shields
+let base_routes ?(router = Iterative_deletion) ?pool tech grid netlist =
+  route_with ?pool router tech grid netlist Id_router.No_shields
 
 let demand_quantile usage grid q dir =
   (* Stats.quantile_int returns 0 on an empty sample, so a zero-region
@@ -65,10 +88,12 @@ let demand_quantile usage grid q dir =
     (Array.init (Grid.num_regions grid) (fun r -> Usage.nns usage r dir))
     q
 
-let prepare ?(cap_quantile = 0.90) ?(router = Iterative_deletion) tech netlist =
+let prepare ?(config = Config.default) tech netlist =
   Trace.span_args "flow:prepare"
     [ ("circuit", netlist.Netlist.name) ]
   @@ fun () ->
+  let { Config.router; cap_quantile; jobs; _ } = config in
+  Eda_exec.with_pool ~jobs @@ fun pool ->
   (* Pass 1: route with loose auto-capacities to observe regional demand.
      Pass 2: clamp the capacities near the top of that demand and
      re-route, so the conventional router is balancing right at the edge
@@ -76,7 +101,7 @@ let prepare ?(cap_quantile = 0.90) ?(router = Iterative_deletion) tech netlist =
      placement; every further track, i.e. every shield, risks expanding
      it). *)
   let grid0 = Tech.grid_for tech netlist in
-  let base0 = base_routes ~router tech grid0 netlist in
+  let base0 = base_routes ~router ~pool tech grid0 netlist in
   let usage0 =
     Usage.of_routes grid0 ~gcell_um:netlist.Netlist.gcell_um (Array.to_list base0)
   in
@@ -85,17 +110,22 @@ let prepare ?(cap_quantile = 0.90) ?(router = Iterative_deletion) tech netlist =
     Grid.make ~w:(Grid.width grid0) ~h:(Grid.height grid0)
       ~hcap:(cap Eda_grid.Dir.H) ~vcap:(cap Eda_grid.Dir.V)
   in
-  let base = base_routes ~router tech grid netlist in
+  let base = base_routes ~router ~pool tech grid netlist in
   (grid, base)
 
-type budgeting = Uniform | Route_aware
-
-let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
-    ?(budgeting = Uniform) ?grid ?base netlist kind =
+let run ?grid ?base config tech ~sensitivity netlist =
+  let { Config.kind; router; budgeting; jobs; seed; cap_quantile = _ } =
+    config
+  in
   Metrics.incr m_runs;
   Trace.span_args "flow:run"
-    [ ("kind", kind_name kind); ("circuit", netlist.Netlist.name) ]
+    [
+      ("kind", kind_name kind);
+      ("circuit", netlist.Netlist.name);
+      ("jobs", string_of_int jobs);
+    ]
   @@ fun () ->
+  Eda_exec.with_pool ~jobs @@ fun pool ->
   let grid = match grid with Some g -> g | None -> Tech.grid_for tech netlist in
   let lsk_model = Tech.lsk_model tech in
   let gcell_um = netlist.Netlist.gcell_um in
@@ -109,10 +139,10 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
         | Some r -> (r, 0.0)
         | None ->
             Trace.timed_span "phase:route" (fun () ->
-                base_routes ~router tech grid netlist))
+                base_routes ~router ~pool tech grid netlist))
     | Gsino ->
         Trace.timed_span "phase:route" (fun () ->
-            route_with router tech grid netlist
+            route_with ~pool router tech grid netlist
               (Id_router.Per_net
                  {
                    keff = tech.Tech.keff;
@@ -137,7 +167,7 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
   let phase2, sino_s =
     Trace.timed_span "phase:sino" (fun () ->
         Phase2.solve ~grid ~netlist ~routes ~kth:(Budget.kth budget) ~sensitivity
-          ~keff:tech.Tech.keff ~mode ~seed ())
+          ~keff:tech.Tech.keff ~mode ~seed ~pool ())
   in
   Metrics.accum m_sino_s sino_s;
   let usage = Usage.of_routes grid ~gcell_um (Array.to_list routes) in
@@ -149,7 +179,7 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
         let stats, s =
           Trace.timed_span "phase:refine" (fun () ->
               Refine.run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
-                ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d))
+                ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d) ~pool ())
         in
         (Some stats, s)
   in
@@ -159,8 +189,8 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     "flow phases done: route %.2fs, sino %.2fs, refine %.2fs" route_s sino_s
     refine_s;
   let violations =
-    Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes
-      ~bound_v:tech.Tech.noise_bound_v
+    Noise.violations ~pool ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes
+      ~bound_v:tech.Tech.noise_bound_v ()
   in
   let lengths = Array.map (fun r -> Route.length_um r ~gcell_um) routes in
   let total_wl_um = Array.fold_left ( +. ) 0.0 lengths in
@@ -194,6 +224,12 @@ let run tech ~sensitivity ~seed ?(router = Iterative_deletion)
     sino_s;
     refine_s;
   }
+
+let run_legacy tech ~sensitivity ~seed ?(router = Iterative_deletion)
+    ?(budgeting = Uniform) ?grid ?base netlist kind =
+  run ?grid ?base
+    { Config.default with Config.kind; router; budgeting; seed }
+    tech ~sensitivity netlist
 
 let check ?(tech = Tech.default) r =
   let module Checker = Eda_check.Checker in

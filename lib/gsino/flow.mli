@@ -31,6 +31,31 @@ type router = Iterative_deletion | Negotiated
     (§5's "alternative budgeting approaches"). *)
 type budgeting = Uniform | Route_aware
 
+(** Everything a flow invocation is parameterized on, in one record —
+    build one with [{ Config.default with kind = ...; jobs = ... }]
+    instead of threading optional arguments through every layer.  Output
+    sinks (trace/metrics/report files) stay CLI concerns and are not part
+    of the flow configuration. *)
+module Config : sig
+  type t = {
+    kind : kind;
+    router : router;
+    budgeting : budgeting;
+    jobs : int;
+        (** domains for the parallel sections (Phase II panels, Phase III
+            noise scans, per-net candidate evaluation); [1] = fully
+            sequential, byte-identical to the pre-parallel code.  Results
+            are deterministic for any value — see DESIGN.md. *)
+    seed : int;  (** placement/heuristic seed; Phase III uses a split *)
+    cap_quantile : float;
+        (** {!prepare}'s capacity clamp quantile (default 0.90) *)
+  }
+
+  (** [Gsino], iterative deletion, uniform budgeting, [jobs = 1],
+      [seed = 7], [cap_quantile = 0.90]. *)
+  val default : t
+end
+
 type result = {
   kind : kind;
   netlist : Eda_netlist.Netlist.t;
@@ -55,6 +80,7 @@ type result = {
     shield term; shared by ID+NO and iSINO. *)
 val base_routes :
   ?router:router ->
+  ?pool:Eda_exec.t ->
   Tech.t ->
   Eda_grid.Grid.t ->
   Eda_netlist.Netlist.t ->
@@ -66,25 +92,35 @@ val base_routes :
 val demand_quantile :
   Eda_grid.Usage.t -> Eda_grid.Grid.t -> float -> Eda_grid.Dir.t -> int
 
-(** [prepare tech netlist] — the shared experimental setup: route the
-    conventional (no-shield) flow on auto-provisioned capacities, then
-    tighten every region's per-direction capacity to that routing's peak
-    demand.  This mirrors the paper's setting where the placement exactly
-    accommodates conventional routing (ID+NO area = placement area in
-    Table 3) and all of iSINO's/GSINO's area overhead comes from
-    shields. *)
+(** [prepare ?config tech netlist] — the shared experimental setup: route
+    the conventional (no-shield) flow on auto-provisioned capacities,
+    then tighten every region's per-direction capacity to that routing's
+    peak demand.  This mirrors the paper's setting where the placement
+    exactly accommodates conventional routing (ID+NO area = placement
+    area in Table 3) and all of iSINO's/GSINO's area overhead comes from
+    shields.  Uses [config]'s [router], [cap_quantile] and [jobs]
+    (default {!Config.default}). *)
 val prepare :
-  ?cap_quantile:float ->
-  ?router:router ->
+  ?config:Config.t ->
   Tech.t ->
   Eda_netlist.Netlist.t ->
   Eda_grid.Grid.t * Eda_grid.Route.t array
 
-(** [run tech ~sensitivity ~seed ?grid ?base netlist kind] executes a
-    flow.  Pass the [grid] and [base] from {!prepare} so the three
-    approaches share one setup ([base] is ignored by [Gsino], which
-    re-routes shield-aware). *)
+(** [run ?grid ?base config tech ~sensitivity netlist] executes the flow
+    described by [config].  Pass the [grid] and [base] from {!prepare} so
+    the three approaches share one setup ([base] is ignored by [Gsino],
+    which re-routes shield-aware).  A [config.jobs]-domain pool lives for
+    the duration of the call. *)
 val run :
+  ?grid:Eda_grid.Grid.t ->
+  ?base:Eda_grid.Route.t array ->
+  Config.t ->
+  Tech.t ->
+  sensitivity:Eda_netlist.Sensitivity.t ->
+  Eda_netlist.Netlist.t ->
+  result
+
+val run_legacy :
   Tech.t ->
   sensitivity:Eda_netlist.Sensitivity.t ->
   seed:int ->
@@ -95,6 +131,10 @@ val run :
   Eda_netlist.Netlist.t ->
   kind ->
   result
+  [@@ocaml.deprecated "Build a Flow.Config.t and call Flow.run instead."]
+(** The pre-[Config] calling convention, kept for one release so out-of-
+    tree callers migrate on their own schedule; equivalent to {!run} with
+    [{ Config.default with kind; router; budgeting; seed }]. *)
 
 (** [check ?tech r] — static analysis of the finished flow: run every
     {!Eda_check.Checker} invariant rule against the solution and return

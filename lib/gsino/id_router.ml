@@ -202,9 +202,16 @@ let prune_tree grid st =
 
 (* ------------------------------------------------------------------ *)
 
+(* Per-net preparation outcome: everything computable without touching
+   the shared occupancy arrays, so the prep fans out over a pool. *)
+type prep =
+  | P_direct of Route.t  (** big net: direct RSMT embedding *)
+  | P_state of net_state * int list  (** connection graph + candidate edges *)
+  | P_empty  (** single-region net *)
+
 let route ~grid ~netlist ?(weights = default_weights)
     ?(shield_model = No_shields) ?(big_net_threshold = 5000) ?(bbox_expand = 1)
-    () =
+    ?pool () =
   Trace.span_args "id_router.route"
     [ ("nets", string_of_int (Array.length netlist.Netlist.nets)) ]
   @@ fun () ->
@@ -277,42 +284,56 @@ let route ~grid ~netlist ?(weights = default_weights)
     (weights.alpha *. Hashtbl.find st.f_wl e)
     +. (weights.beta *. !hd) +. (weights.gamma *. !ofr)
   in
-  (* Build per-net states; big or trivial nets take direct routes. *)
+  (* Build per-net states; big or trivial nets take direct routes.  The
+     candidate evaluation (bbox clip, candidate edge sweep, per-edge
+     detour factors — the O(pins² · edges) part) only reads the grid and
+     the net, so it fans out over the pool; the shared occupancy
+     accounting is then replayed sequentially in net order, making the
+     initial demand state identical to the single-domain code. *)
   let direct = Hashtbl.create 16 in
-  let states =
-    Array.map
+  let preps =
+    Eda_exec.map_array ?pool
       (fun net ->
         let bounds = Rect.make 0 0 (Grid.width grid - 1) (Grid.height grid - 1) in
         let bbox = Rect.clip (Rect.expand (Net.bbox net) bbox_expand) ~within:bounds in
         if Rect.cells bbox > big_net_threshold then begin
           Metrics.incr m_direct_nets;
-          let r = steiner_route grid net in
-          Hashtbl.replace direct net.Net.id r;
-          Array.iter (fun e -> account e 1) (Route.edges r);
-          if Array.length sdemand > 0 then
-            List.iter
-              (fun (reg, d) ->
-                let nss = nss_arr d in
-                nss.(reg) <- nss.(reg) +. sdemand.(net.Net.id))
-              (Route.occupied grid r);
-          None
+          P_direct (steiner_route grid net)
         end
         else begin
-          let edges = Grid.edges_within grid bbox in
-          match edges with
-          | [] -> None (* single-region net: empty route *)
-          | _ ->
+          match Grid.edges_within grid bbox with
+          | [] -> P_empty (* single-region net: empty route *)
+          | edges ->
               Metrics.observe h_candidates (float_of_int (List.length edges));
               let pins = Array.of_list (Net.pins net) in
-              let st = build_state grid net (Rsmt.length pins) edges in
-              List.iter
-                (fun e ->
-                  account e 1;
-                  member_bump st e 1)
-                edges;
-              Some st
+              P_state (build_state grid net (Rsmt.length pins) edges, edges)
         end)
       nets
+  in
+  let states =
+    Array.mapi
+      (fun i prep ->
+        let net = nets.(i) in
+        match prep with
+        | P_direct r ->
+            Hashtbl.replace direct net.Net.id r;
+            Array.iter (fun e -> account e 1) (Route.edges r);
+            if Array.length sdemand > 0 then
+              List.iter
+                (fun (reg, d) ->
+                  let nss = nss_arr d in
+                  nss.(reg) <- nss.(reg) +. sdemand.(net.Net.id))
+                (Route.occupied grid r);
+            None
+        | P_empty -> None
+        | P_state (st, edges) ->
+            List.iter
+              (fun e ->
+                account e 1;
+                member_bump st e 1)
+              edges;
+            Some st)
+      preps
   in
   (* Seed the heap with every (net, edge) pair. *)
   let heap = Heap.create () in

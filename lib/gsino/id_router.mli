@@ -57,7 +57,10 @@ val shield_demand : keff:Eda_sino.Keff.params -> rate:float -> float -> float
     regions bypass iterative deletion and take their RSMT route directly
     (engineering guard for chip-spanning nets; default 5000)
     @param bbox_expand regions of slack added around each net's pin
-    bounding box (detour freedom; default 1) *)
+    bounding box (detour freedom; default 1)
+    @param pool parallelizes the per-net candidate evaluation (connection
+    graphs and detour factors); the deletion loop itself is sequential,
+    so routes are identical for any job count *)
 val route :
   grid:Eda_grid.Grid.t ->
   netlist:Eda_netlist.Netlist.t ->
@@ -65,6 +68,7 @@ val route :
   ?shield_model:shield_model ->
   ?big_net_threshold:int ->
   ?bbox_expand:int ->
+  ?pool:Eda_exec.t ->
   unit ->
   Eda_grid.Route.t array
 

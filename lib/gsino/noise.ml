@@ -42,23 +42,26 @@ type audit_entry = {
   violating : bool;
 }
 
-let audit ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v =
-  let out = ref [] in
-  Array.iteri
-    (fun i net ->
-      let lsk, v = net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net routes.(i) in
-      out :=
-        {
-          net = i;
-          lsk;
-          noise_v = v;
-          margin_v = bound_v -. v;
-          violating = v > bound_v +. 1e-12;
-        }
-        :: !out)
-    netlist.Netlist.nets;
-  List.sort (fun a b -> compare b.noise_v a.noise_v) !out
+let audit ?pool ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v () =
+  let nets = netlist.Netlist.nets in
+  let entry i =
+    let net = nets.(i) in
+    let lsk, v = net_worst ~grid ~gcell_um ~phase2 ~lsk_model ~net routes.(i) in
+    {
+      net = i;
+      lsk;
+      noise_v = v;
+      margin_v = bound_v -. v;
+      violating = v > bound_v +. 1e-12;
+    }
+  in
+  (* per-net noise walks are read-only over phase2/routes — fan out, then
+     rebuild the historical descending-net-id list so the stable sort
+     breaks noise ties exactly as the sequential code always has *)
+  let entries = Eda_exec.parallel_map ?pool (Array.length nets) entry in
+  let out = Array.fold_left (fun acc e -> e :: acc) [] entries in
+  List.sort (fun a b -> compare b.noise_v a.noise_v) out
 
-let violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v =
-  audit ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v
+let violations ?pool ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v () =
+  audit ?pool ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v ()
   |> List.filter_map (fun e -> if e.violating then Some (e.net, e.noise_v) else None)

@@ -49,10 +49,13 @@ type audit_entry = {
   violating : bool;
 }
 
-(** [audit ~netlist ~routes ... ~bound_v] — every net's worst-sink noise
-    against the bound, sorted worst (highest noise) first.  The run
-    report's noise table; {!violations} is the violating prefix. *)
+(** [audit ~netlist ~routes ... ~bound_v ()] — every net's worst-sink
+    noise against the bound, sorted worst (highest noise) first.  The run
+    report's noise table; {!violations} is the violating prefix.  Per-net
+    evaluation is read-only, so [?pool] fans it out with an order-
+    preserving (index-ordered) reduction — same list for any job count. *)
 val audit :
+  ?pool:Eda_exec.t ->
   grid:Eda_grid.Grid.t ->
   gcell_um:float ->
   phase2:Phase2.t ->
@@ -60,11 +63,13 @@ val audit :
   netlist:Eda_netlist.Netlist.t ->
   routes:Eda_grid.Route.t array ->
   bound_v:float ->
+  unit ->
   audit_entry list
 
-(** [violations ~netlist ~routes ...] — ids of nets whose worst sink noise
-    exceeds [bound_v], with their noise, sorted worst first. *)
+(** [violations ~netlist ~routes ... ()] — ids of nets whose worst sink
+    noise exceeds [bound_v], with their noise, sorted worst first. *)
 val violations :
+  ?pool:Eda_exec.t ->
   grid:Eda_grid.Grid.t ->
   gcell_um:float ->
   phase2:Phase2.t ->
@@ -72,4 +77,5 @@ val violations :
   netlist:Eda_netlist.Netlist.t ->
   routes:Eda_grid.Route.t array ->
   bound_v:float ->
+  unit ->
   (int * float) list

@@ -46,7 +46,7 @@ let soln_of_layout ~keff inst layout =
     (Layout.k_all layout keff);
   { inst; layout; k }
 
-let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed () =
+let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed ?pool () =
   Trace.span "phase2.solve" @@ fun () ->
   let members : (key, int list) Hashtbl.t = Hashtbl.create 256 in
   let net_regions : (int, key list) Hashtbl.t = Hashtbl.create 256 in
@@ -64,27 +64,34 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed () =
         (Route.occupied grid route))
     routes;
   ignore netlist;
-  let table = Hashtbl.create (Hashtbl.length members) in
-  Hashtbl.iter
-    (fun ((r, d) as key) nets ->
-      let nets = Array.of_list (List.sort_uniq compare nets) in
-      let kth_arr = Array.map kth nets in
-      let inst =
-        Instance.make ~nets ~kth:kth_arr ~sensitive:(Sensitivity.sensitive sensitivity)
-      in
-      let rng =
-        Rng.create (Hashtbl.hash (seed, r, Dir.to_string d))
-      in
-      let layout =
-        match mode with
-        | Order_only -> Solver.order_only rng inst
-        | Min_area -> Solver.min_area ~params:keff rng inst
-      in
-      Metrics.incr (match d with Dir.H -> m_panels_h | Dir.V -> m_panels_v);
-      Metrics.observe h_panel_nets (float_of_int (Array.length nets));
-      Metrics.add m_shields (Layout.num_shields layout);
-      Hashtbl.replace table key (soln_of_layout ~keff inst layout))
-    members;
+  (* Each panel is an independent SINO instance with a panel-keyed RNG
+     seed, so panels can be solved in any order (or concurrently) with
+     identical results.  Key-sort for a stable worklist, fan out, then
+     fill the table in index order. *)
+  let panels =
+    Hashtbl.fold (fun key nets acc -> (key, nets) :: acc) members []
+    |> List.sort compare |> Array.of_list
+  in
+  let solve_panel (((r, d) as _key), nets) =
+    let nets = Array.of_list (List.sort_uniq compare nets) in
+    let kth_arr = Array.map kth nets in
+    let inst =
+      Instance.make ~nets ~kth:kth_arr ~sensitive:(Sensitivity.sensitive sensitivity)
+    in
+    let rng = Rng.create (Hashtbl.hash (seed, r, Dir.to_string d)) in
+    let layout =
+      match mode with
+      | Order_only -> Solver.order_only rng inst
+      | Min_area -> Solver.min_area ~params:keff rng inst
+    in
+    Metrics.incr (match d with Dir.H -> m_panels_h | Dir.V -> m_panels_v);
+    Metrics.observe h_panel_nets (float_of_int (Array.length nets));
+    Metrics.add m_shields (Layout.num_shields layout);
+    soln_of_layout ~keff inst layout
+  in
+  let solns = Eda_exec.map_array ?pool solve_panel panels in
+  let table = Hashtbl.create (Array.length panels) in
+  Array.iteri (fun i soln -> Hashtbl.replace table (fst panels.(i)) soln) solns;
   { grid; keff; table; net_regions }
 
 let find t key = Hashtbl.find_opt t.table key

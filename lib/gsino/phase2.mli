@@ -18,7 +18,9 @@ type mode = Order_only | Min_area
 
 (** [solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed ()]
     builds and solves every non-empty region instance.  [kth net] supplies
-    the per-net bound from Phase I budgeting. *)
+    the per-net bound from Phase I budgeting.  Panels are independent
+    (each has its own panel-keyed RNG seed): with [?pool] they are solved
+    in parallel with results identical to the sequential order. *)
 val solve :
   grid:Eda_grid.Grid.t ->
   netlist:Eda_netlist.Netlist.t ->
@@ -28,6 +30,7 @@ val solve :
   keff:Eda_sino.Keff.params ->
   mode:mode ->
   seed:int ->
+  ?pool:Eda_exec.t ->
   unit ->
   t
 

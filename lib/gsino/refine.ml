@@ -50,15 +50,19 @@ let net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route =
 
 (* ---------------- Pass 1: eliminate violations --------------------- *)
 
-let pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
+let pass1 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
   let gcell_um = Usage.gcell_um usage in
   let fixes = ref 0 and resolves = ref 0 in
   let given_up : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let continue_outer = ref true in
   while !continue_outer do
     Metrics.incr m_ripup_rounds;
+    (* the full-netlist violation scan each round is the expensive part
+       of this pass; it is read-only, so it fans out over the pool while
+       the tighten-and-resolve below stays sequential *)
     let violating =
-      Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v
+      Noise.violations ?pool ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes
+        ~bound_v ()
       |> List.filter (fun (i, _) -> not (Hashtbl.mem given_up i))
     in
     match violating with
@@ -92,8 +96,14 @@ let pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
                      let a, b = Grid.edge_ends grid e in
                      [ (Grid.region_id grid a, d); (Grid.region_id grid b, d) ])
               |> List.sort_uniq compare
-              |> List.sort (fun (ra, da) (rb, db) ->
-                     compare (Usage.utilization usage ra da) (Usage.utilization usage rb db))
+              |> List.sort (fun ((ra, da) as ka) ((rb, db) as kb) ->
+                     match
+                       compare
+                         (Usage.utilization usage ra da)
+                         (Usage.utilization usage rb db)
+                     with
+                     | 0 -> compare ka kb
+                     | c -> c)
             in
             let rec try_keys = function
               | [] -> exhausted := true
@@ -144,7 +154,7 @@ let pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
 
 (* ---------------- Pass 2: reduce congestion ------------------------ *)
 
-let pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
+let pass2 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
   let gcell_um = Usage.gcell_um usage in
   let removed = ref 0 and resolves = ref 0 in
   let lsk_budget = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
@@ -154,9 +164,15 @@ let pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
     Phase2.iter phase2 (fun key soln ->
         if Layout.num_shields soln.Phase2.layout > 0 && not (Hashtbl.mem attempted key)
         then acc := key :: !acc);
+    (* [acc] comes out of a hash table, so break utilization ties on the
+       key itself — the pick must not depend on table insertion order *)
     List.sort
-      (fun (ra, da) (rb, db) ->
-        compare (Usage.utilization usage rb db) (Usage.utilization usage ra da))
+      (fun ((ra, da) as ka) ((rb, db) as kb) ->
+        match
+          compare (Usage.utilization usage rb db) (Usage.utilization usage ra da)
+        with
+        | 0 -> compare ka kb
+        | c -> c)
       !acc
   in
   let n_keys = ref 0 in
@@ -223,13 +239,12 @@ let pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
                 Phase2.replace phase2 key soln';
                 sync_shields usage key soln';
                 let ok =
-                  List.for_all
-                    (fun li ->
+                  Eda_exec.parallel_map ?pool n (fun li ->
                       let gid = Instance.net_id inst li in
                       net_noise ~grid ~gcell_um ~phase2 ~lsk_model
                         netlist.Netlist.nets.(gid) routes.(gid)
                       <= bound_v +. 1e-12)
-                    (List.init n (fun li -> li))
+                  |> Array.for_all (fun b -> b)
                 in
                 if ok then begin
                   removed :=
@@ -247,20 +262,21 @@ let pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng =
   done;
   (!removed, !resolves)
 
-let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~seed =
+let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~seed ?pool () =
   let rng = Rng.create seed in
   let gcell_um = Usage.gcell_um usage in
   let p1_fixed, p1_res =
     Trace.span "refine.pass1" (fun () ->
-        pass1 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng)
+        pass1 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng ())
   in
   let p2_removed, p2_res =
     Trace.span "refine.pass2" (fun () ->
-        pass2 ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng)
+        pass2 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng ())
   in
   let residual =
     List.length
-      (Noise.violations ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v)
+      (Noise.violations ?pool ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes
+         ~bound_v ())
   in
   Metrics.add m_p1_fixed p1_fixed;
   Metrics.add m_p2_removed p2_removed;

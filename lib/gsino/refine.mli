@@ -13,7 +13,11 @@
     shields and introduces no violation.
 
     Both passes mutate the {!Phase2} store and the shield counts in the
-    usage accounting in place. *)
+    usage accounting in place.  The mutating tighten/relax steps are
+    inherently sequential; [?pool] parallelizes only the read-only noise
+    scans between them (the per-round violation sweep, pass 2's
+    acceptance check, the residual count), so results are identical for
+    any job count. *)
 
 type stats = {
   pass1_nets_fixed : int;  (** violating nets repaired *)
@@ -32,6 +36,8 @@ val run :
   lsk_model:Eda_lsk.Lsk.t ->
   bound_v:float ->
   seed:int ->
+  ?pool:Eda_exec.t ->
+  unit ->
   stats
 
 val pp_stats : Format.formatter -> stats -> unit

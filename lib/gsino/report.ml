@@ -70,26 +70,27 @@ module Paper = struct
     | _ -> None
 end
 
-let run_circuit ?(tech = Tech.default) ~scale ~seed profile rates =
+let run_circuit ?(tech = Tech.default) ?(jobs = 1) ~scale ~seed profile rates =
   let netlist =
     Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed profile
   in
-  let grid, base = Flow.prepare tech netlist in
+  let config kind = { Flow.Config.default with Flow.Config.kind; seed; jobs } in
+  let grid, base = Flow.prepare ~config:(config Flow.Id_no) tech netlist in
   List.map
     (fun rate ->
       let sensitivity =
         Sensitivity.make ~seed:(seed lxor Hashtbl.hash (profile.Generator.name, rate)) ~rate
       in
-      let idno = Flow.run tech ~sensitivity ~seed ~grid ~base netlist Flow.Id_no in
-      let isino = Flow.run tech ~sensitivity ~seed ~grid ~base netlist Flow.Isino in
-      let gsino = Flow.run tech ~sensitivity ~seed ~grid netlist Flow.Gsino in
+      let idno = Flow.run ~grid ~base (config Flow.Id_no) tech ~sensitivity netlist in
+      let isino = Flow.run ~grid ~base (config Flow.Isino) tech ~sensitivity netlist in
+      let gsino = Flow.run ~grid (config Flow.Gsino) tech ~sensitivity netlist in
       { profile; rate; idno; isino; gsino })
     rates
 
 let run_suite ?(tech = Tech.default) ?(profiles = Generator.all_ibm)
-    ?(rates = [ 0.30; 0.50 ]) ~scale ~seed () =
+    ?(rates = [ 0.30; 0.50 ]) ?(jobs = 1) ~scale ~seed () =
   let runs =
-    List.concat_map (fun p -> run_circuit ~tech ~scale ~seed p rates) profiles
+    List.concat_map (fun p -> run_circuit ~tech ~jobs ~scale ~seed p rates) profiles
   in
   { scale; seed; runs }
 

@@ -30,23 +30,25 @@ module Paper : sig
   val area_overhead : string -> float -> [ `Isino | `Gsino ] -> float option
 end
 
-(** [run_circuit ?tech ~scale ~seed profile rates] — prepare the circuit
-    once (shared grid and conventional base routes) and run the three
-    flows at each rate. *)
+(** [run_circuit ?tech ?jobs ~scale ~seed profile rates] — prepare the
+    circuit once (shared grid and conventional base routes) and run the
+    three flows at each rate, on a [jobs]-domain pool (default 1). *)
 val run_circuit :
   ?tech:Tech.t ->
+  ?jobs:int ->
   scale:float ->
   seed:int ->
   Eda_netlist.Generator.profile ->
   float list ->
   circuit_run list
 
-(** [run_suite ?tech ?profiles ?rates ~scale ~seed ()] — the full
+(** [run_suite ?tech ?profiles ?rates ?jobs ~scale ~seed ()] — the full
     evaluation (default: all six circuits, rates 0.3 and 0.5). *)
 val run_suite :
   ?tech:Tech.t ->
   ?profiles:Eda_netlist.Generator.profile list ->
   ?rates:float list ->
+  ?jobs:int ->
   scale:float ->
   seed:int ->
   unit ->

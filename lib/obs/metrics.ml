@@ -11,10 +11,10 @@ let bucket_of v =
     min (n_buckets - 1) (max 0 (e + 15))
   end
 
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+type counter_cell = { mutable c : int }
+type gauge_cell = { mutable g : float }
 
-type histogram = {
+type histogram_cell = {
   mutable count : int;
   mutable sum : float;
   mutable mn : float;
@@ -22,9 +22,32 @@ type histogram = {
   buckets : int array;
 }
 
-type instrument = C of counter | G of gauge | H of histogram
+type instrument = C of counter_cell | G of gauge_cell | H of histogram_cell
 
-let registry : (string * labels, instrument) Hashtbl.t = Hashtbl.create 64
+(* Sharding: every domain owns a private registry of cells, reached
+   through domain-local storage, so recording never shares a mutable cell
+   across domains.  An instrument handle is the DLS key of its cell; the
+   first touch from a domain materialises (and registers) that domain's
+   cell.  [snapshot]/[reset] act on the calling domain's shard only, and
+   worker shards are folded back with {!absorb} (see the .mli for the
+   contract). *)
+let registry_key : (string * labels, instrument) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let registry () = Domain.DLS.get registry_key
+
+type counter = counter_cell Domain.DLS.key
+type gauge = gauge_cell Domain.DLS.key
+type histogram = histogram_cell Domain.DLS.key
+
+type handle = KC of counter | KG of gauge | KH of histogram
+
+(* Process-global (name, labels) -> handle table, so registration stays
+   idempotent across domains: each pair has exactly one DLS key.  The
+   mutex guards registration only — recording goes straight to the
+   domain-local cell and never takes it. *)
+let handles : (string * labels, handle) Hashtbl.t = Hashtbl.create 64
+let handles_mu = Mutex.create ()
 
 let norm_labels labels =
   let l = List.sort_uniq compare labels in
@@ -32,50 +55,97 @@ let norm_labels labels =
   then invalid_arg "Metrics: duplicate label key";
   l
 
-let register ?(labels = []) name make =
+let register ?(labels = []) name find make =
   if name = "" then invalid_arg "Metrics: empty metric name";
   let key = (name, norm_labels labels) in
-  match Hashtbl.find_opt registry key with
-  | Some existing -> existing
-  | None ->
-      let i = make () in
-      Hashtbl.replace registry key i;
-      i
+  Mutex.protect handles_mu (fun () ->
+      match Hashtbl.find_opt handles key with
+      | Some existing -> find existing
+      | None ->
+          let h = make key in
+          Hashtbl.replace handles key h;
+          find h)
+
+let new_cell_key key wrap cell_of =
+  Domain.DLS.new_key (fun () ->
+      let cell = cell_of () in
+      Hashtbl.replace (registry ()) key (wrap cell);
+      cell)
 
 let counter ?labels name =
-  match register ?labels name (fun () -> C { c = 0 }) with
-  | C c -> c
-  | G _ | H _ -> invalid_arg ("Metrics.counter: " ^ name ^ " registered with another kind")
+  let k =
+    register ?labels name
+      (function
+        | KC c -> c
+        | KG _ | KH _ ->
+            invalid_arg
+              ("Metrics.counter: " ^ name ^ " registered with another kind"))
+      (fun key -> KC (new_cell_key key (fun c -> C c) (fun () -> { c = 0 })))
+  in
+  (* materialise this domain's cell eagerly so the instrument shows up in
+     snapshots at value zero even if never bumped *)
+  ignore (Domain.DLS.get k : counter_cell);
+  k
 
 let gauge ?labels name =
-  match register ?labels name (fun () -> G { g = 0.0 }) with
-  | G g -> g
-  | C _ | H _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another kind")
+  let k =
+    register ?labels name
+      (function
+        | KG g -> g
+        | KC _ | KH _ ->
+            invalid_arg
+              ("Metrics.gauge: " ^ name ^ " registered with another kind"))
+      (fun key -> KG (new_cell_key key (fun g -> G g) (fun () -> { g = 0.0 })))
+  in
+  ignore (Domain.DLS.get k : gauge_cell);
+  k
 
 let histogram ?labels name =
-  match
-    register ?labels name (fun () ->
-        H
-          {
-            count = 0;
-            sum = 0.0;
-            mn = infinity;
-            mx = neg_infinity;
-            buckets = Array.make n_buckets 0;
-          })
-  with
-  | H h -> h
-  | C _ | G _ ->
-      invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another kind")
+  let k =
+    register ?labels name
+      (function
+        | KH h -> h
+        | KC _ | KG _ ->
+            invalid_arg
+              ("Metrics.histogram: " ^ name ^ " registered with another kind"))
+      (fun key ->
+        KH
+          (new_cell_key key
+             (fun h -> H h)
+             (fun () ->
+               {
+                 count = 0;
+                 sum = 0.0;
+                 mn = infinity;
+                 mx = neg_infinity;
+                 buckets = Array.make n_buckets 0;
+               })))
+  in
+  ignore (Domain.DLS.get k : histogram_cell);
+  k
 
-let incr c = c.c <- c.c + 1
-let add c n = c.c <- c.c + n
-let counter_value c = c.c
-let set g v = g.g <- v
-let accum g v = g.g <- g.g +. v
-let gauge_value g = g.g
+let incr k =
+  let c = Domain.DLS.get k in
+  c.c <- c.c + 1
 
-let observe h v =
+let add k n =
+  let c = Domain.DLS.get k in
+  c.c <- c.c + n
+
+let counter_value k = (Domain.DLS.get k).c
+
+let set k v =
+  let g = Domain.DLS.get k in
+  g.g <- v
+
+let accum k v =
+  let g = Domain.DLS.get k in
+  g.g <- g.g +. v
+
+let gauge_value k = (Domain.DLS.get k).g
+
+let observe k v =
+  let h = Domain.DLS.get k in
   h.count <- h.count + 1;
   h.sum <- h.sum +. v;
   if v < h.mn then h.mn <- v;
@@ -91,12 +161,14 @@ type histogram_summary = {
   buckets : (int * int) list;
 }
 
-let histogram_summary (h : histogram) =
+let summary_of_cell (h : histogram_cell) =
   let buckets = ref [] in
   for i = n_buckets - 1 downto 0 do
     if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
   done;
   { count = h.count; sum = h.sum; min = h.mn; max = h.mx; buckets = !buckets }
+
+let histogram_summary (k : histogram) = summary_of_cell (Domain.DLS.get k)
 
 let histogram_mean s =
   if s.count = 0 then 0.0 else s.sum /. float_of_int s.count
@@ -141,10 +213,10 @@ let snapshot () =
         match inst with
         | C c -> Counter c.c
         | G g -> Gauge g.g
-        | H h -> Histogram (histogram_summary h)
+        | H h -> Histogram (summary_of_cell h)
       in
       (name, labels, v) :: acc)
-    registry []
+    (registry ()) []
   |> List.sort compare
 
 let entries s = s
@@ -357,4 +429,34 @@ let reset () =
           h.mn <- infinity;
           h.mx <- neg_infinity;
           Array.fill h.buckets 0 n_buckets 0)
-    registry
+    (registry ())
+
+(* ------------------------- shard absorption ------------------------- *)
+
+let absorb_mu = Mutex.create ()
+
+let absorb (s : snapshot) =
+  (* Single-absorber rule: shards are merged by one domain at a time (the
+     pool coordinator, in worker-index order).  Concurrent absorbs would
+     interleave read-modify-write on the same cells, so fail loudly
+     instead of corrupting counts. *)
+  if not (Mutex.try_lock absorb_mu) then
+    invalid_arg "Metrics.absorb: concurrent merge (sharding contract violated)";
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock absorb_mu)
+    (fun () ->
+      List.iter
+        (fun (name, labels, v) ->
+          match v with
+          | Counter n -> add (counter ~labels name) n
+          | Gauge g -> accum (gauge ~labels name) g
+          | Histogram hs ->
+              let cell = Domain.DLS.get (histogram ~labels name) in
+              cell.count <- cell.count + hs.count;
+              cell.sum <- cell.sum +. hs.sum;
+              if hs.min < cell.mn then cell.mn <- hs.min;
+              if hs.max > cell.mx then cell.mx <- hs.max;
+              List.iter
+                (fun (i, c) -> cell.buckets.(i) <- cell.buckets.(i) + c)
+                hs.buckets)
+        s)

@@ -16,7 +16,29 @@
     {!to_json} renders the [gsino-metrics-v1] schema consumed by CI and
     the bench trajectory files.
 
-    Not thread-safe; the flow is single-threaded. *)
+    {2 Sharding contract (multicore)}
+
+    Instrument cells are sharded per domain: a handle names one metric,
+    but each domain that records through it writes a private
+    domain-local cell, so recording is still a plain (unsynchronised)
+    increment and never races.  The rules:
+
+    - Registration is process-global and mutex-guarded: any domain may
+      create any instrument at any time; (name, labels) pairs resolve to
+      the same handle everywhere, and kind mismatches raise
+      [Invalid_argument] as before.
+    - {!snapshot} and {!reset} see {e only the calling domain's shard}.
+      A worker domain finishing a batch takes [snapshot ()] of its own
+      cells, [reset ()]s them, and hands the snapshot to the
+      coordinator.
+    - The coordinator folds worker shards into its own shard with
+      {!absorb}, one at a time, in a deterministic (worker-index) order.
+      [absorb] holds a merge mutex and raises [Invalid_argument] if
+      entered concurrently — misuse fails loudly instead of silently
+      corrupting counts.  [Eda_exec] does all of this automatically.
+
+    Everything below the snapshot layer ({!merge}, JSON, {!quantile}) is
+    pure and safe anywhere. *)
 
 (** Sorted, duplicate-free at registration; order given does not matter. *)
 type labels = (string * string) list
@@ -110,5 +132,14 @@ val of_json : Json.t -> (snapshot, string) result
     with the path. *)
 val read_json : string -> (snapshot, string) result
 
-(** Zero every registered instrument (registrations survive). *)
+(** Zero every instrument cell of the calling domain's shard
+    (registrations survive). *)
 val reset : unit -> unit
+
+(** [absorb shard] — fold a worker shard into the calling domain's live
+    cells: counters and histogram buckets add, gauges accumulate (add —
+    worker gauges are treated as contributions, not last-writer
+    overrides).  Instruments absent locally are registered on the fly.
+    Guarded by a merge mutex: concurrent calls raise [Invalid_argument]
+    (see the sharding contract above). *)
+val absorb : snapshot -> unit

@@ -18,6 +18,16 @@ let dummy_event = { name = ""; ph = I; ts_us = 0.0; args = [] }
 
 let state : state option ref = ref None
 
+(* The ring buffer is single-writer: only the domain that called [enable]
+   (the flow coordinator) records.  Worker domains spawned by Eda_exec
+   still run traced functions, but their span bookkeeping is a no-op —
+   per-domain work is accounted in the sharded [exec.*] metrics instead. *)
+let owner = ref (-1)
+
+let on_owner () = (Domain.self () :> int) = !owner
+
+let active () = match !state with Some s when on_owner () -> Some s | Some _ | None -> None
+
 let enabled () = !state <> None
 
 (* Ring overwrites surface in the metrics registry too, so an exported
@@ -29,6 +39,7 @@ let m_dropped = lazy (Metrics.counter "trace.dropped_spans")
 let enable ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.enable: non-positive capacity";
   ignore (Lazy.force m_dropped);
+  owner := (Domain.self () :> int);
   state :=
     Some
       {
@@ -70,14 +81,14 @@ let end_span s =
       record s { name; ph = E; ts_us = now_us s; args = [] }
 
 let span_args name args f =
-  match !state with
+  match active () with
   | None -> f ()
   | Some s ->
       begin_span s name args;
       Fun.protect ~finally:(fun () -> end_span s) f
 
 let span name f =
-  match !state with None -> f () | Some _ -> span_args name [] f
+  match active () with None -> f () | Some _ -> span_args name [] f
 
 let timed_span name f =
   let t0 = Unix.gettimeofday () in
@@ -85,11 +96,11 @@ let timed_span name f =
   (v, Unix.gettimeofday () -. t0)
 
 let instant ?(args = []) name =
-  match !state with
+  match active () with
   | None -> ()
   | Some s -> record s { name; ph = I; ts_us = now_us s; args }
 
-let depth () = match !state with None -> 0 | Some s -> s.depth
+let depth () = match active () with None -> 0 | Some s -> s.depth
 
 let dropped () =
   match !state with None -> 0 | Some s -> max 0 (s.next - s.capacity)

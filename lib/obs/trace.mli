@@ -13,7 +13,11 @@
     ["B"]/["E"]/["i"] events, timestamps in µs), loadable by
     [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
 
-    Not thread-safe; the flow is single-threaded. *)
+    Single-writer: the ring belongs to the domain that called {!enable}
+    (the flow coordinator).  On any other domain — e.g. an [Eda_exec]
+    worker — {!span}/{!instant} still run their thunk but record
+    nothing, so traced code can be fanned out without racing the buffer;
+    per-domain work shows up in the sharded [exec.*] metrics instead. *)
 
 type args = (string * string) list
 

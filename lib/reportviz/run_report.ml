@@ -53,7 +53,7 @@ let audit_of ~tech (r : Flow.result) =
     ~phase2:r.Flow.phase2
     ~lsk_model:(Tech.lsk_model tech)
     ~netlist:r.Flow.netlist ~routes:r.Flow.routes
-    ~bound_v:tech.Tech.noise_bound_v
+    ~bound_v:tech.Tech.noise_bound_v ()
 
 let phase_rows (r : Flow.result) =
   [

@@ -345,7 +345,8 @@ let flow_diags =
      List.map
        (fun kind ->
          let base = if kind = Flow.Gsino then None else Some base in
-         let r = Flow.run tech ~sensitivity:sens ~seed:3 ~grid ?base nl kind in
+         let config = { Flow.Config.default with Flow.Config.kind; seed = 3 } in
+         let r = Flow.run ~grid ?base config tech ~sensitivity:sens nl in
          (kind, Flow.check ~tech r))
        [ Flow.Id_no; Flow.Isino; Flow.Gsino ])
 

@@ -69,16 +69,17 @@ let test_nc_short_when_uncongested () =
 
 let test_nc_in_flow () =
   let nl = Lazy.force tiny in
-  let grid, base = Flow.prepare ~router:Flow.Negotiated tech nl in
+  let config kind =
+    { Flow.Config.default with
+      Flow.Config.kind;
+      router = Flow.Negotiated;
+      seed = 3;
+    }
+  in
+  let grid, base = Flow.prepare ~config:(config Flow.Gsino) tech nl in
   let sens = Sensitivity.make ~seed:11 ~rate:0.30 in
-  let gsino =
-    Flow.run tech ~sensitivity:sens ~seed:3 ~router:Flow.Negotiated ~grid nl
-      Flow.Gsino
-  in
-  let idno =
-    Flow.run tech ~sensitivity:sens ~seed:3 ~router:Flow.Negotiated ~grid ~base nl
-      Flow.Id_no
-  in
+  let gsino = Flow.run ~grid (config Flow.Gsino) tech ~sensitivity:sens nl in
+  let idno = Flow.run ~grid ~base (config Flow.Id_no) tech ~sensitivity:sens nl in
   Alcotest.(check int) "gsino violation-free with nc router" 0
     (Flow.violation_count gsino);
   Alcotest.(check bool) "idno has violations" true (Flow.violation_count idno > 0)
@@ -122,8 +123,13 @@ let test_route_aware_flow_zero_pass1 () =
   let grid, base = Flow.prepare tech nl in
   let sens = Sensitivity.make ~seed:11 ~rate:0.30 in
   let gsino =
-    Flow.run tech ~sensitivity:sens ~seed:3 ~budgeting:Flow.Route_aware ~grid ~base
-      nl Flow.Gsino
+    Flow.run ~grid ~base
+      { Flow.Config.default with
+        Flow.Config.kind = Flow.Gsino;
+        budgeting = Flow.Route_aware;
+        seed = 3;
+      }
+      tech ~sensitivity:sens nl
   in
   Alcotest.(check int) "violation-free" 0 (Flow.violation_count gsino);
   match gsino.Flow.refine_stats with
@@ -295,16 +301,18 @@ let test_combined_variants () =
   (* negotiated router + route-aware budgeting together still deliver the
      paper's guarantee *)
   let nl = Lazy.force tiny in
-  let grid, base = Flow.prepare ~router:Flow.Negotiated tech nl in
+  let config kind =
+    { Flow.Config.default with
+      Flow.Config.kind;
+      router = Flow.Negotiated;
+      budgeting = Flow.Route_aware;
+      seed = 3;
+    }
+  in
+  let grid, base = Flow.prepare ~config:(config Flow.Gsino) tech nl in
   let sens = Sensitivity.make ~seed:11 ~rate:0.50 in
-  let gsino =
-    Flow.run tech ~sensitivity:sens ~seed:3 ~router:Flow.Negotiated
-      ~budgeting:Flow.Route_aware ~grid nl Flow.Gsino
-  in
-  let isino =
-    Flow.run tech ~sensitivity:sens ~seed:3 ~router:Flow.Negotiated
-      ~budgeting:Flow.Route_aware ~grid ~base nl Flow.Isino
-  in
+  let gsino = Flow.run ~grid (config Flow.Gsino) tech ~sensitivity:sens nl in
+  let isino = Flow.run ~grid ~base (config Flow.Isino) tech ~sensitivity:sens nl in
   Alcotest.(check int) "gsino clean" 0 (Flow.violation_count gsino);
   Alcotest.(check int) "isino clean" 0 (Flow.violation_count isino)
 

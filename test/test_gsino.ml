@@ -251,7 +251,7 @@ let test_noise_hand_computed () =
   Alcotest.(check (float 1e-9)) "lone net has zero LSK" 0.0 lsk;
   let violations =
     Noise.violations ~grid:g ~gcell_um:100.0 ~phase2:p2 ~lsk_model:m ~netlist:nl
-      ~routes ~bound_v:0.15
+      ~routes ~bound_v:0.15 ()
   in
   Alcotest.(check int) "no violations" 0 (List.length violations)
 
@@ -260,7 +260,7 @@ let test_noise_violations_sorted () =
   let m = Lazy.force lsk_model in
   let v =
     Noise.violations ~grid ~gcell_um:nl.Netlist.gcell_um ~phase2:p2 ~lsk_model:m
-      ~netlist:nl ~routes:base ~bound_v:0.15
+      ~netlist:nl ~routes:base ~bound_v:0.15 ()
   in
   let rec sorted = function
     | (_, a) :: ((_, b) :: _ as rest) -> a >= b && sorted rest
@@ -277,9 +277,10 @@ let test_noise_violations_sorted () =
 let flows =
   lazy
     (let nl, grid, base = Lazy.force tiny in
-     let idno = Flow.run tech ~sensitivity:sens30 ~seed:3 ~grid ~base nl Flow.Id_no in
-     let isino = Flow.run tech ~sensitivity:sens30 ~seed:3 ~grid ~base nl Flow.Isino in
-     let gsino = Flow.run tech ~sensitivity:sens30 ~seed:3 ~grid nl Flow.Gsino in
+     let config kind = { Flow.Config.default with Flow.Config.kind; seed = 3 } in
+     let idno = Flow.run ~grid ~base (config Flow.Id_no) tech ~sensitivity:sens30 nl in
+     let isino = Flow.run ~grid ~base (config Flow.Isino) tech ~sensitivity:sens30 nl in
+     let gsino = Flow.run ~grid (config Flow.Gsino) tech ~sensitivity:sens30 nl in
      (nl, idno, isino, gsino))
 
 let test_flow_idno_shape () =
@@ -412,8 +413,16 @@ let test_weights_gamma_matters () =
 
 let test_prepare_cap_quantile () =
   let nl, _, _ = Lazy.force tiny in
-  let g_tight, _ = Flow.prepare ~cap_quantile:0.5 tech nl in
-  let g_loose, _ = Flow.prepare ~cap_quantile:1.0 tech nl in
+  let g_tight, _ =
+    Flow.prepare
+      ~config:{ Flow.Config.default with Flow.Config.cap_quantile = 0.5 }
+      tech nl
+  in
+  let g_loose, _ =
+    Flow.prepare
+      ~config:{ Flow.Config.default with Flow.Config.cap_quantile = 1.0 }
+      tech nl
+  in
   let cap g d = Grid.cap g (p 0 0) d in
   Alcotest.(check bool) "lower quantile, tighter caps" true
     (cap g_tight Dir.H <= cap g_loose Dir.H

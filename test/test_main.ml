@@ -18,4 +18,5 @@ let () =
          Test_obs.suites;
          Test_diff.suites;
          Test_reportviz.suites;
+         Test_exec.suites;
        ])

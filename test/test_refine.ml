@@ -35,11 +35,11 @@ let setup =
      Phase2.apply_shields usage phase2;
      let pre_violations =
        Noise.violations ~grid ~gcell_um:nl.Netlist.gcell_um ~phase2 ~lsk_model
-         ~netlist:nl ~routes:base ~bound_v:tech.Tech.noise_bound_v
+         ~netlist:nl ~routes:base ~bound_v:tech.Tech.noise_bound_v ()
      in
      let stats =
        Refine.run ~grid ~netlist:nl ~routes:base ~phase2 ~usage ~lsk_model
-         ~bound_v:tech.Tech.noise_bound_v ~seed:31
+         ~bound_v:tech.Tech.noise_bound_v ~seed:31 ()
      in
      (nl, grid, base, phase2, usage, pre_violations, stats))
 
@@ -55,7 +55,7 @@ let test_post_violations_zero () =
   let lsk_model = Tech.lsk_model tech in
   let v =
     Noise.violations ~grid ~gcell_um:nl.Netlist.gcell_um ~phase2 ~lsk_model
-      ~netlist:nl ~routes:base ~bound_v:tech.Tech.noise_bound_v
+      ~netlist:nl ~routes:base ~bound_v:tech.Tech.noise_bound_v ()
   in
   Alcotest.(check int) "recomputed violations also zero" 0 (List.length v)
 
@@ -80,7 +80,7 @@ let test_idempotent () =
   let lsk_model = Tech.lsk_model tech in
   let stats2 =
     Refine.run ~grid ~netlist:nl ~routes:base ~phase2 ~usage ~lsk_model
-      ~bound_v:tech.Tech.noise_bound_v ~seed:77
+      ~bound_v:tech.Tech.noise_bound_v ~seed:77 ()
   in
   Alcotest.(check int) "no new fixes" 0 stats2.Refine.pass1_nets_fixed;
   Alcotest.(check int) "still zero residual" 0 stats2.Refine.residual_violations

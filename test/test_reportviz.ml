@@ -37,7 +37,11 @@ let fixture =
      in
      let grid, _base = Flow.prepare tech nl in
      let sensitivity = Sensitivity.make ~seed:11 ~rate:0.30 in
-     let r = Flow.run tech ~sensitivity ~seed:7 ~grid nl Flow.Gsino in
+     let r =
+       Flow.run ~grid
+         { Flow.Config.default with Flow.Config.kind = Flow.Gsino; seed = 7 }
+         tech ~sensitivity nl
+     in
      (r, Metrics.snapshot ()))
 
 (* ------------------------------ Svg --------------------------------- *)
