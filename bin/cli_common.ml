@@ -4,9 +4,13 @@
    Every binary exposes the same conventions: --trace/--metrics/--report
    accept '-' for stdout, at most one sink may claim it, and a claimed
    stdout silences the human-readable output so the artifact stays
-   machine-parseable.  Exit codes are uniform across the drivers:
-   0 success, 1 findings/regression breach, 2 usage or environment
-   error. *)
+   machine-parseable.  Exit codes are uniform across the drivers and
+   mirror Eda_guard.Error.exit_code: 0 success (possibly degraded),
+   1 findings/regression breach, 2 usage or input error, 3 infeasible
+   (under the Fail policy), 4 deadline with nothing to degrade to,
+   5 internal error (singular matrix, worker crash, non-finite value).
+   Every failure leaves through one funnel (guard_exceptions) as a coded
+   GSL diagnostic — no uncaught exception reaches the user. *)
 open Cmdliner
 open Gsino
 module Generator = Eda_netlist.Generator
@@ -14,12 +18,21 @@ module Metrics = Eda_obs.Metrics
 module Trace = Eda_obs.Trace
 module Log = Eda_obs.Log
 module Diag = Eda_check.Diag
+module Error = Eda_guard.Error
+module Fault = Eda_guard.Fault
 
 (* ---------------- exit codes ---------------- *)
 
 let exit_ok = 0
 let exit_findings = 1
 let exit_usage = 2
+let exit_infeasible = 3
+let exit_deadline = 4
+let exit_internal = 5
+
+(* referenced here so the constants stay in sync with the taxonomy by
+   inspection; Error.exit_code is the authoritative mapping *)
+let _ = (exit_infeasible, exit_deadline, exit_internal)
 
 (* ---------------- shared flags ---------------- *)
 
@@ -62,6 +75,16 @@ let budgeting_arg =
      & opt (enum [ ("uniform", Flow.Uniform); ("route-aware", Flow.Route_aware) ])
          Flow.Uniform
      & info [ "budgeting" ] ~docv:"MODE" ~doc)
+
+let deadline_arg =
+  let doc =
+    "Wall-clock budget for the whole flow, in milliseconds (0 = none).  On \
+     expiry each phase keeps its best-so-far result — routes stay \
+     connected, accounting stays consistent — and the run completes \
+     $(i,degraded) (exit 0, GSL0019 warning in the lint output) instead of \
+     being killed."
+  in
+  Arg.(value & opt int 0 & info [ "deadline" ] ~docv:"MS" ~doc)
 
 let jobs_arg =
   let doc =
@@ -128,6 +151,60 @@ let out_formatter ~claimed =
   if claimed then Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
   else Format.std_formatter
 
+(* ---------------- failure funnel ---------------- *)
+
+(* The one rendering of a typed failure: its GSL code, a locus when the
+   payload names one, and the class message. *)
+let diag_of_error e =
+  let locus =
+    match e with
+    | Error.Unreachable { net; _ } -> Some (Diag.Net net)
+    | Error.Infeasible { region; dir; _ } ->
+        Some
+          (Diag.Region
+             (region, if dir = "V" then Eda_grid.Dir.V else Eda_grid.Dir.H))
+    | Error.Parse _ | Error.Singular_matrix _ | Error.Deadline _
+    | Error.Worker_crash _ | Error.Nonfinite _ ->
+        None
+  in
+  Diag.make ~code:(Error.gsl_code e) Diag.Error ?locus (Error.to_string e)
+
+let report_error ~pretty e =
+  let d = diag_of_error e in
+  if pretty then Format.eprintf "%a@." Diag.pp d
+  else prerr_endline (Diag.to_line d);
+  exit (Error.exit_code e)
+
+(* Install faults requested via GSINO_FAULTS before any worker domain
+   exists; a malformed spec is a usage error. *)
+let init_faults ~prog () =
+  match Fault.init_from_env () with
+  | Ok () ->
+      if Fault.active () then
+        Log.warn
+          ~fields:[ ("sites", String.concat "," (Fault.sites ())) ]
+          "fault injection active (%s)" Fault.env_var
+  | Error msg ->
+      Format.eprintf "%s: invalid %s: %s@." prog Fault.env_var msg;
+      exit exit_usage
+
+(* Catch everything a run can throw and leave through the documented
+   exit codes: typed guard errors directly, foreign exceptions with a
+   known mapping (Matrix.Singular, router Unreachable) folded in, and
+   anything else as an internal worker-crash (GSL0022, exit 5). *)
+let guard_exceptions ?(pretty = false) f =
+  try f () with
+  | Error.Error e -> report_error ~pretty e
+  | Nc_router.Unreachable { net; region } ->
+      report_error ~pretty (Error.Unreachable { net; region })
+  | exn -> (
+      match Error.of_exn exn with
+      | Some e -> report_error ~pretty e
+      | None ->
+          report_error ~pretty
+            (Error.Worker_crash
+               { site = "cli"; msg = Printexc.to_string exn }))
+
 (* ---------------- observability lifecycle ---------------- *)
 
 let write_trace = function
@@ -142,26 +219,31 @@ let write_metrics = function
         (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
   | Some file -> Metrics.write_json file (Metrics.snapshot ())
 
-(* Apply -v/-q, enable tracing when requested, run [f], then flush the
-   trace/metrics artifacts even if [f] raises.  A disconnected-grid
-   failure from the negotiated router surfaces as a GSL0017 diagnostic
-   and exit code 2 instead of an uncaught exception ([pretty] switches
-   that diagnostic to the human-readable renderer). *)
-let with_obs ?(pretty = false) ~trace ~metrics ~verbose ~quiet f =
+(* Apply -v/-q, configure fault injection, enable tracing when
+   requested, run [f] inside the {!guard_exceptions} funnel, then flush
+   the trace/metrics artifacts even if [f] raises or exits — so a
+   fault-injected or deadline-killed run still leaves its observability
+   artifacts behind ([pretty] switches diagnostics to the human-readable
+   renderer). *)
+let with_obs ?(pretty = false) ?(prog = "gsino") ~trace ~metrics ~verbose
+    ~quiet f =
   if quiet then Log.set_level Log.Quiet
   else if verbose then Log.set_level (Log.Level Log.Debug);
+  init_faults ~prog ();
   (match trace with Some _ -> Trace.enable () | None -> ());
+  (* idempotent and registered with at_exit: report_error leaves through
+     Stdlib.exit, which does not unwind Fun.protect, yet a failed run
+     must still drop its artifacts for triage *)
+  let flushed = ref false in
   let finish () =
-    write_trace trace;
-    write_metrics metrics
+    if not !flushed then begin
+      flushed := true;
+      write_trace trace;
+      write_metrics metrics
+    end
   in
-  Fun.protect ~finally:finish (fun () ->
-      try f ()
-      with Nc_router.Unreachable { net; region } ->
-        let d = Nc_router.unreachable_diag ~net ~region in
-        if pretty then Format.eprintf "%a@." Diag.pp d
-        else prerr_endline (Diag.to_line d);
-        exit exit_usage)
+  at_exit finish;
+  Fun.protect ~finally:finish (fun () -> guard_exceptions ~pretty f)
 
 (* ---------------- netlist acquisition ---------------- *)
 
@@ -174,10 +256,15 @@ let profile_of_name name =
 
 let netlist_of tech ~circuit ~scale ~seed = function
   | Some file -> (
-      try Eda_netlist.Io.load file
-      with Sys_error msg | Failure msg | Invalid_argument msg ->
-        Format.eprintf "cannot load netlist %s: %s@." file msg;
-        exit exit_usage)
+      try Eda_netlist.Io.load file with
+      | Error.Error (Error.Parse _ as e) ->
+          (* typed loader failure: render through the funnel so the line
+             number and offending token reach the user with the GSL0020
+             code and the documented exit status *)
+          report_error ~pretty:false e
+      | Sys_error msg | Failure msg | Invalid_argument msg ->
+          Format.eprintf "cannot load netlist %s: %s@." file msg;
+          exit exit_usage)
   | None ->
       Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale ~seed
         (profile_of_name circuit)

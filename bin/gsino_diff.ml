@@ -11,13 +11,15 @@ module Diff = Eda_obs.Diff
 module Log = Eda_obs.Log
 module C = Cli_common
 
+(* plain strings, not Arg.file: a missing path must leave through our
+   documented exit 2 with a readable message, not cmdliner's 124 *)
 let baseline_arg =
   let doc = "Baseline metrics snapshot (gsino-metrics-v1 JSON)." in
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE" ~doc)
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"BASELINE" ~doc)
 
 let current_arg =
   let doc = "Current metrics snapshot (gsino-metrics-v1 JSON)." in
-  Arg.(required & pos 1 (some file) None & info [] ~docv:"CURRENT" ~doc)
+  Arg.(required & pos 1 (some string) None & info [] ~docv:"CURRENT" ~doc)
 
 let policy_arg =
   let doc =
@@ -25,7 +27,7 @@ let policy_arg =
      a guarded metric, the drift direction it guards, and the allowed \
      max_abs/max_rel drift; any breach makes the exit status 1."
   in
-  Arg.(value & opt (some file) None & info [ "policy" ] ~docv:"FILE" ~doc)
+  Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"FILE" ~doc)
 
 let all_arg =
   let doc = "Print unchanged series too, not just the drifted ones." in
@@ -58,6 +60,7 @@ let is_changed e =
 let run policy all verbose quiet baseline current =
   if quiet then Log.set_level Log.Quiet
   else if verbose then Log.set_level (Log.Level Log.Debug);
+  C.guard_exceptions @@ fun () ->
   let entries = Diff.diff (load baseline) (load current) in
   let shown = List.filter (fun e -> all || Diff.changed e) entries in
   if shown = [] then print_endline "no metric drift"

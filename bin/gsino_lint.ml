@@ -45,15 +45,24 @@ let errors_only_arg =
   let doc = "Only print Error-severity diagnostics." in
   Arg.(value & flag & info [ "e"; "errors-only" ] ~doc)
 
-let lint circuit scale seed rate router budgeting jobs netlist_file kinds
-    pretty max_print errors_only trace metrics verbose quiet =
+let lint circuit scale seed rate router budgeting jobs deadline netlist_file
+    kinds pretty max_print errors_only trace metrics verbose quiet =
   let claimed = C.claim_stdout ~prog:"gsino_lint" [ trace; metrics ] in
   let out = C.out_formatter ~claimed in
-  C.with_obs ~pretty ~trace ~metrics ~verbose ~quiet @@ fun () ->
+  C.with_obs ~pretty ~prog:"gsino_lint" ~trace ~metrics ~verbose ~quiet
+  @@ fun () ->
   let tech = Tech.default in
   let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
   let config kind =
-    { Flow.Config.default with Flow.Config.kind; router; budgeting; seed; jobs }
+    {
+      Flow.Config.default with
+      Flow.Config.kind;
+      router;
+      budgeting;
+      seed;
+      jobs;
+      deadline_ms = deadline;
+    }
   in
   let grid, base = Flow.prepare ~config:(config Flow.Gsino) tech netlist in
   let sensitivity = Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
@@ -101,8 +110,8 @@ let cmd =
     Term.(
       const lint $ C.circuit_arg $ C.scale_arg ~default:0.02 () $ C.seed_arg
       $ C.rate_arg $ C.router_arg $ C.budgeting_arg $ C.jobs_arg
-      $ netlist_file_arg $ kind_arg $ pretty_arg $ max_print_arg
-      $ errors_only_arg $ C.trace_arg $ C.metrics_arg $ C.verbose_arg
-      $ C.quiet_arg)
+      $ C.deadline_arg $ netlist_file_arg $ kind_arg $ pretty_arg
+      $ max_print_arg $ errors_only_arg $ C.trace_arg $ C.metrics_arg
+      $ C.verbose_arg $ C.quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -20,16 +20,24 @@ let netlist_file_arg =
        one."
 
 let run_cmd =
-  let run circuit scale seed rate router budgeting jobs netlist_file trace
-      metrics report verbose quiet =
+  let run circuit scale seed rate router budgeting jobs deadline netlist_file
+      trace metrics report verbose quiet =
     let claimed = C.claim_stdout ~prog:"gsino_run" [ trace; metrics; report ] in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
+    C.with_obs ~prog:"gsino_run" ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let tech = Tech.default in
     let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
     Format.fprintf out "%a@." Eda_netlist.Netlist.pp_summary netlist;
     let config kind =
-      { Flow.Config.default with Flow.Config.kind; router; budgeting; seed; jobs }
+      {
+        Flow.Config.default with
+        Flow.Config.kind;
+        router;
+        budgeting;
+        seed;
+        jobs;
+        deadline_ms = deadline;
+      }
     in
     let grid, base = Flow.prepare ~config:(config Flow.Id_no) tech netlist in
     Format.fprintf out "%a@.@." Eda_grid.Grid.pp grid;
@@ -84,9 +92,9 @@ let run_cmd =
   let doc = "Run ID+NO, iSINO and GSINO on one circuit at one sensitivity rate." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
-          $ C.router_arg $ C.budgeting_arg $ C.jobs_arg $ netlist_file_arg
-          $ C.trace_arg $ C.metrics_arg $ C.report_arg $ C.verbose_arg
-          $ C.quiet_arg)
+          $ C.router_arg $ C.budgeting_arg $ C.jobs_arg $ C.deadline_arg
+          $ netlist_file_arg $ C.trace_arg $ C.metrics_arg $ C.report_arg
+          $ C.verbose_arg $ C.quiet_arg)
 
 let map_cmd =
   let run circuit scale seed rate jobs netlist_file =
@@ -130,7 +138,7 @@ let suite_cmd =
   let run scale seed jobs circuits trace metrics verbose quiet =
     let claimed = C.claim_stdout ~prog:"gsino_run" [ trace; metrics ] in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~trace ~metrics ~verbose ~quiet @@ fun () ->
+    C.with_obs ~prog:"gsino_run" ~trace ~metrics ~verbose ~quiet @@ fun () ->
     let profiles =
       match circuits with
       | [] -> Eda_netlist.Generator.all_ibm

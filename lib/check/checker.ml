@@ -14,6 +14,7 @@ type panel = {
   shields : int;
   nets : int array;
   feasible : bool;
+  degraded : bool;
 }
 
 type solution = {
@@ -30,6 +31,7 @@ type solution = {
   violations : (int * float) list;
   bound_v : float;
   metrics : (string * float) list;
+  deadline_phases : string list;
 }
 
 let err ~code ?locus fmt = Diag.makef ~code Diag.Error ?locus fmt
@@ -412,6 +414,30 @@ let rule_panel_feasible sol =
       else None)
     sol.panels
 
+(* GSL0018: panels that took the resilience fallback path. *)
+let rule_panel_degraded sol =
+  List.filter_map
+    (fun p ->
+      if p.degraded then
+        Some
+          (warn ~code:18 ~locus:(Diag.Region (p.region, p.dir))
+             "SINO panel degraded: solver fell back after retries (%d nets, %d shields)"
+             (Array.length p.nets) p.shields)
+      else None)
+    sol.panels
+
+(* GSL0019: phases truncated by the run's deadline. *)
+let rule_deadline sol =
+  match sol.deadline_phases with
+  | [] -> []
+  | phases ->
+      [
+        warn ~code:19
+          "deadline expired: phase%s %s returned best-so-far results"
+          (if List.length phases > 1 then "s" else "")
+          (String.concat ", " phases);
+      ]
+
 (* GSL0015: residual crosstalk violations. *)
 let rule_residual_violations sol =
   List.map
@@ -486,6 +512,8 @@ let rules =
     (14, "panel-feasible", rule_panel_feasible);
     (15, "residual-violations", rule_residual_violations);
     (16, "netlist-well-formed", rule_netlist);
+    (18, "panel-degraded", rule_panel_degraded);
+    (19, "deadline-degraded", rule_deadline);
   ]
 
 let run sol = Diag.sort (List.concat_map (fun (_, _, rule) -> rule sol) rules)

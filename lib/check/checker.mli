@@ -38,7 +38,12 @@
     - [GSL0015 [W]] residual crosstalk violation: a sink's predicted
       noise exceeds the bound
     - [GSL0016 [E]] malformed netlist (pin off-grid, id mismatch, grid
-      dimensions disagreeing with the netlist) *)
+      dimensions disagreeing with the netlist)
+    - [GSL0018 [W]] SINO panel degraded: the solver exhausted its retry
+      budget (or hit the deadline) and fell back to a conservative or
+      best-so-far layout
+    - [GSL0019 [W]] deadline expired during the run: the named phases
+      returned best-so-far results *)
 
 (** One solved Phase-II region panel, flattened to plain data. *)
 type panel = {
@@ -47,6 +52,7 @@ type panel = {
   shields : int;  (** shield tracks the SINO layout inserted there *)
   nets : int array;  (** global ids of the nets in the panel *)
   feasible : bool;  (** SINO layout feasible under the [Kth] bounds *)
+  degraded : bool;  (** layout came from the retry/fallback path *)
 }
 
 type solution = {
@@ -68,6 +74,8 @@ type solution = {
   metrics : (string * float) list;
       (** named scalar metrics (wire lengths, areas) checked finite and
           non-negative *)
+  deadline_phases : string list;
+      (** phases truncated by the run's deadline ([[]] when none) *)
 }
 
 (** The rule registry: [(code, name, rule)].  One rule owns one code;

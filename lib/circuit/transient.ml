@@ -66,6 +66,7 @@ let run c ~dt ~t_end ~probes =
           if x > 0 then M.add_to a (srow i) (vrow x) 1.0;
           if y > 0 then M.add_to a (srow i) (vrow y) (-1.0))
     elems;
+  Eda_guard.Fault.point "matrix.lu";
   let lu = M.lu_factor a in
   let steps = int_of_float (Float.ceil (t_end /. dt)) in
   let x = Array.make size 0.0 in
@@ -102,6 +103,20 @@ let run c ~dt ~t_end ~probes =
         | Mna.R _ | Mna.C _ | Mna.K _ -> ())
       elems;
     let x' = M.lu_solve lu rhs in
+    x'.(0) <- Eda_guard.Fault.corrupt "matrix.lu" x'.(0);
+    (* A NaN/Inf here would otherwise propagate through the companion
+       state and surface downstream as a garbage noise figure; fail at
+       the source with the step that produced it. *)
+    Array.iteri
+      (fun i v ->
+        if not (Float.is_finite v) then
+          Eda_guard.Error.raise_
+            (Eda_guard.Error.Nonfinite
+               {
+                 site = "matrix.lu";
+                 what = Printf.sprintf "unknown %d at t=%.4e s" i t;
+               }))
+      x';
     (* update capacitor currents: i_n = Geq v_n - Ieq(prev) *)
     Array.iteri
       (fun ci (nx, ny, cv) ->

@@ -61,6 +61,9 @@ let steal pool job ~chunks ~items =
       Metrics.incr chunks;
       Metrics.add items (stop - start);
       try
+        (* fault site: an injected crash here exercises the same drain +
+           typed-reraise path as a real worker failure *)
+        Eda_guard.Fault.point "exec.worker";
         for i = start to stop - 1 do
           job.body i
         done

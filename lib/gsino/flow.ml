@@ -24,6 +24,9 @@ module Config = struct
     jobs : int;
     seed : int;
     cap_quantile : float;
+    deadline_ms : int;
+    max_region_retries : int;
+    on_infeasible : Eda_guard.Error.policy;
   }
 
   let default =
@@ -34,6 +37,9 @@ module Config = struct
       jobs = 1;
       seed = 7;
       cap_quantile = 0.90;
+      deadline_ms = 0;
+      max_region_retries = 2;
+      on_infeasible = Eda_guard.Error.Degrade;
     }
 end
 
@@ -55,6 +61,7 @@ type result = {
   route_s : float;
   sino_s : float;
   refine_s : float;
+  deadline_hits : string list;
 }
 
 (* cumulative wall-clock per phase across every run of the process, so a
@@ -65,7 +72,7 @@ let m_sino_s = m_phase_s "sino"
 let m_refine_s = m_phase_s "refine"
 let m_runs = Metrics.counter "flow.runs"
 
-let route_with ?pool router tech grid netlist shield_model =
+let route_with ?pool ?deadline router tech grid netlist shield_model =
   match router with
   | Iterative_deletion ->
       Id_router.route ~grid ~netlist
@@ -75,11 +82,12 @@ let route_with ?pool router tech grid netlist shield_model =
             beta = tech.Tech.beta;
             gamma = tech.Tech.gamma;
           }
-        ~shield_model ?pool ()
-  | Negotiated -> Nc_router.route ~grid ~netlist ~shield_model ()
+        ~shield_model ?deadline ?pool ()
+  | Negotiated -> Nc_router.route ~grid ~netlist ~shield_model ?deadline ()
 
-let base_routes ?(router = Iterative_deletion) ?pool tech grid netlist =
-  route_with ?pool router tech grid netlist Id_router.No_shields
+let base_routes ?(router = Iterative_deletion) ?pool ?deadline tech grid netlist
+    =
+  route_with ?pool ?deadline router tech grid netlist Id_router.No_shields
 
 let demand_quantile usage grid q dir =
   (* Stats.quantile_int returns 0 on an empty sample, so a zero-region
@@ -114,9 +122,20 @@ let prepare ?(config = Config.default) tech netlist =
   (grid, base)
 
 let run ?grid ?base config tech ~sensitivity netlist =
-  let { Config.kind; router; budgeting; jobs; seed; cap_quantile = _ } =
+  let {
+    Config.kind;
+    router;
+    budgeting;
+    jobs;
+    seed;
+    cap_quantile = _;
+    deadline_ms;
+    max_region_retries;
+    on_infeasible;
+  } =
     config
   in
+  let deadline = Eda_guard.Deadline.start ~budget_ms:deadline_ms in
   Metrics.incr m_runs;
   Trace.span_args "flow:run"
     [
@@ -139,10 +158,10 @@ let run ?grid ?base config tech ~sensitivity netlist =
         | Some r -> (r, 0.0)
         | None ->
             Trace.timed_span "phase:route" (fun () ->
-                base_routes ~router ~pool tech grid netlist))
+                base_routes ~router ~pool ~deadline tech grid netlist))
     | Gsino ->
         Trace.timed_span "phase:route" (fun () ->
-            route_with ~pool router tech grid netlist
+            route_with ~pool ~deadline router tech grid netlist
               (Id_router.Per_net
                  {
                    keff = tech.Tech.keff;
@@ -167,7 +186,8 @@ let run ?grid ?base config tech ~sensitivity netlist =
   let phase2, sino_s =
     Trace.timed_span "phase:sino" (fun () ->
         Phase2.solve ~grid ~netlist ~routes ~kth:(Budget.kth budget) ~sensitivity
-          ~keff:tech.Tech.keff ~mode ~seed ~pool ())
+          ~keff:tech.Tech.keff ~mode ~seed ~deadline
+          ~retries:max_region_retries ~on_infeasible ~pool ())
   in
   Metrics.accum m_sino_s sino_s;
   let usage = Usage.of_routes grid ~gcell_um (Array.to_list routes) in
@@ -179,7 +199,8 @@ let run ?grid ?base config tech ~sensitivity netlist =
         let stats, s =
           Trace.timed_span "phase:refine" (fun () ->
               Refine.run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
-                ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d) ~pool ())
+                ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d)
+                ~deadline ~pool ())
         in
         (Some stats, s)
   in
@@ -223,7 +244,11 @@ let run ?grid ?base config tech ~sensitivity netlist =
     route_s;
     sino_s;
     refine_s;
+    deadline_hits = Eda_guard.Deadline.hits deadline;
   }
+
+let degraded r =
+  r.deadline_hits <> [] || Phase2.degraded_panels r.phase2 <> []
 
 let run_legacy tech ~sensitivity ~seed ?(router = Iterative_deletion)
     ?(budgeting = Uniform) ?grid ?base netlist kind =
@@ -233,7 +258,6 @@ let run_legacy tech ~sensitivity ~seed ?(router = Iterative_deletion)
 
 let check ?(tech = Tech.default) r =
   let module Checker = Eda_check.Checker in
-  let keff = Phase2.keff r.phase2 in
   let panels = ref [] in
   Phase2.iter r.phase2 (fun (region, dir) s ->
       let nets = Array.of_seq (Hashtbl.to_seq_keys s.Phase2.k) in
@@ -244,7 +268,8 @@ let check ?(tech = Tech.default) r =
           dir;
           shields = Eda_sino.Layout.num_shields s.Phase2.layout;
           nets;
-          feasible = Eda_sino.Layout.feasible s.Phase2.layout keff;
+          feasible = s.Phase2.feasible;
+          degraded = s.Phase2.degraded;
         }
         :: !panels);
   let row, col, area = r.area in
@@ -270,6 +295,7 @@ let check ?(tech = Tech.default) r =
           ("area_col_um", col);
           ("area_um2", area);
         ];
+      deadline_phases = r.deadline_hits;
     }
 
 let violation_count r = List.length r.violations
@@ -284,4 +310,11 @@ let pp_summary fmt r =
     "%s on %s: %d violations (%.2f%%), avg WL %.0fum, area %.0fx%.0f=%.3e, %d shields (route %.1fs, sino %.1fs, refine %.1fs)"
     (kind_name r.kind) r.netlist.Netlist.name (violation_count r)
     (violation_pct r) r.avg_wl_um row col area r.shields r.route_s r.sino_s
-    r.refine_s
+    r.refine_s;
+  (match Phase2.degraded_panels r.phase2 with
+  | [] -> ()
+  | ps -> Format.fprintf fmt " DEGRADED[%d panels]" (List.length ps));
+  match r.deadline_hits with
+  | [] -> ()
+  | phases ->
+      Format.fprintf fmt " DEADLINE[%s]" (String.concat "," phases)

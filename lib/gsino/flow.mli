@@ -49,10 +49,26 @@ module Config : sig
     seed : int;  (** placement/heuristic seed; Phase III uses a split *)
     cap_quantile : float;
         (** {!prepare}'s capacity clamp quantile (default 0.90) *)
+    deadline_ms : int;
+        (** wall-clock budget for the whole run; [<= 0] disables the
+            deadline.  On expiry each phase keeps its best-so-far result
+            (valid but less optimized) and is recorded in
+            [result.deadline_hits] — the run completes degraded instead
+            of raising. *)
+    max_region_retries : int;
+        (** reseeded re-solves of an infeasible min-area SINO panel
+            before [on_infeasible] applies (default 2; attempt 0 always
+            uses the historical seed) *)
+    on_infeasible : Eda_guard.Error.policy;
+        (** what to do when a panel stays infeasible after the retries:
+            [Degrade] (default) installs a conservative all-shield
+            fallback and tags the panel; [Fail] raises
+            [Eda_guard.Error.Error (Infeasible _)] *)
   }
 
   (** [Gsino], iterative deletion, uniform budgeting, [jobs = 1],
-      [seed = 7], [cap_quantile = 0.90]. *)
+      [seed = 7], [cap_quantile = 0.90], no deadline, 2 region retries,
+      [Degrade] on infeasibility. *)
   val default : t
 end
 
@@ -74,6 +90,10 @@ type result = {
   route_s : float;  (** wall-clock seconds in global routing *)
   sino_s : float;  (** wall-clock seconds in Phase II *)
   refine_s : float;  (** wall-clock seconds in Phase III *)
+  deadline_hits : string list;
+      (** phases the deadline truncated (["route"] / ["sino"] /
+          ["refine"]), in first-hit order; [[]] when the run completed
+          inside its budget (or had none) *)
 }
 
 (** [base_routes ?router tech grid netlist] — conventional routing, no
@@ -81,6 +101,7 @@ type result = {
 val base_routes :
   ?router:router ->
   ?pool:Eda_exec.t ->
+  ?deadline:Eda_guard.Deadline.t ->
   Tech.t ->
   Eda_grid.Grid.t ->
   Eda_netlist.Netlist.t ->
@@ -119,6 +140,13 @@ val run :
   sensitivity:Eda_netlist.Sensitivity.t ->
   Eda_netlist.Netlist.t ->
   result
+
+(** [degraded r] — did resilience machinery alter this result?  True when
+    the deadline truncated a phase or any SINO panel took the fallback
+    path.  A degraded result is still structurally valid (routes
+    connected, accounting consistent) — the lint rules GSL0018/GSL0019
+    describe what was given up. *)
+val degraded : result -> bool
 
 val run_legacy :
   Tech.t ->

@@ -211,7 +211,7 @@ type prep =
 
 let route ~grid ~netlist ?(weights = default_weights)
     ?(shield_model = No_shields) ?(big_net_threshold = 5000) ?(bbox_expand = 1)
-    ?pool () =
+    ?(deadline = Eda_guard.Deadline.none) ?pool () =
   Trace.span_args "id_router.route"
     [ ("nets", string_of_int (Array.length netlist.Netlist.nets)) ]
   @@ fun () ->
@@ -345,7 +345,14 @@ let route ~grid ~netlist ?(weights = default_weights)
     states;
   let mark = Array.make n_regions 0 in
   let stamp = ref 0 in
-  while not (Heap.is_empty heap) do
+  (* checkpoint: every pop leaves all nets connected (deletion is the
+     only mutation and is connectivity-checked), so stopping mid-heap
+     yields valid, merely less-deleted trees; prune_tree below still
+     runs *)
+  while
+    (not (Heap.is_empty heap))
+    && not (Eda_guard.Deadline.check deadline ~phase:"route")
+  do
     Metrics.incr m_iterations;
     let w_old, (i, e) = Heap.pop_max heap in
     match states.(i) with

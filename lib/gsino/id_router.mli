@@ -60,7 +60,10 @@ val shield_demand : keff:Eda_sino.Keff.params -> rate:float -> float -> float
     bounding box (detour freedom; default 1)
     @param pool parallelizes the per-net candidate evaluation (connection
     graphs and detour factors); the deletion loop itself is sequential,
-    so routes are identical for any job count *)
+    so routes are identical for any job count
+    @param deadline checked at every deletion-loop pop — every pop leaves
+    all nets connected, so expiry stops deleting and returns the valid
+    (less optimized) trees, marked as a ["route"] deadline hit *)
 val route :
   grid:Eda_grid.Grid.t ->
   netlist:Eda_netlist.Netlist.t ->
@@ -68,6 +71,7 @@ val route :
   ?shield_model:shield_model ->
   ?big_net_threshold:int ->
   ?bbox_expand:int ->
+  ?deadline:Eda_guard.Deadline.t ->
   ?pool:Eda_exec.t ->
   unit ->
   Eda_grid.Route.t array

@@ -50,7 +50,7 @@ let nss_of p = function Dir.H -> p.nss_h | Dir.V -> p.nss_v
 let hist_of p = function Dir.H -> p.hist_h | Dir.V -> p.hist_v
 
 let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12)
-    ?(history_gain = 0.4) ?(seed = 0) () =
+    ?(history_gain = 0.4) ?(seed = 0) ?(deadline = Eda_guard.Deadline.none) () =
   ignore seed;
   Trace.span_args "nc_router.route"
     [ ("nets", string_of_int (Array.length netlist.Netlist.nets)) ]
@@ -205,7 +205,14 @@ let route ~grid ~netlist ?(shield_model = Id_router.No_shields) ?(max_iters = 12
     done;
     !s
   in
-  while !continue_ && !iter < max_iters do
+  (* checkpoint: the initial routing above always completes (it is what
+     makes every net connected); negotiation rounds only re-price and
+     re-route whole nets, so stopping between rounds leaves a complete —
+     possibly congested — routing *)
+  while
+    !continue_ && !iter < max_iters
+    && not (Eda_guard.Deadline.check deadline ~phase:"route")
+  do
     incr iter;
     Metrics.incr m_iterations;
     match overused () with

@@ -34,7 +34,10 @@ val unreachable_diag : net:int -> region:int -> Eda_check.Diag.t
     @param max_iters rip-up and re-route rounds (default 12)
     @param history_gain price added per round of sustained overuse
     (default 0.4)
-    @param seed tie-breaking determinism (default 0) *)
+    @param seed tie-breaking determinism (default 0)
+    @param deadline checked between negotiation rounds (the initial
+    routing always completes); expiry keeps the complete — possibly
+    congested — routing and marks a ["route"] deadline hit *)
 val route :
   grid:Eda_grid.Grid.t ->
   netlist:Eda_netlist.Netlist.t ->
@@ -42,5 +45,6 @@ val route :
   ?max_iters:int ->
   ?history_gain:float ->
   ?seed:int ->
+  ?deadline:Eda_guard.Deadline.t ->
   unit ->
   Eda_grid.Route.t array

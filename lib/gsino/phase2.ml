@@ -19,12 +19,22 @@ let h_panel_nets = Metrics.histogram "phase2.panel_nets"
 let m_shields = Metrics.counter "phase2.shields_inserted"
 let m_resolves = Metrics.counter "phase2.resolves"
 
+(* Guard counters are looked up at the event (registration is idempotent
+   and mutex-guarded, so this is safe from worker domains) and therefore
+   only exist in runs that actually retried / fell back / found an
+   infeasible panel — clean runs export a byte-identical metrics set. *)
+let c_retries () = Metrics.counter "guard.retries"
+let c_fallbacks () = Metrics.counter "guard.fallbacks"
+let c_infeasible () = Metrics.counter "phase2.infeasible_panels"
+
 type key = int * Dir.t
 
 type soln = {
   inst : Instance.t;
   layout : Layout.t;
   k : (int, float) Hashtbl.t;
+  feasible : bool;
+  degraded : bool;
 }
 
 type mode = Order_only | Min_area
@@ -39,14 +49,33 @@ type t = {
 let grid t = t.grid
 let keff t = t.keff
 
-let soln_of_layout ~keff inst layout =
+let soln_of_layout ~keff ?(degraded = false) inst layout =
   let k = Hashtbl.create (Instance.size inst) in
   Array.iteri
     (fun i ki -> Hashtbl.replace k (Instance.net_id inst i) ki)
     (Layout.k_all layout keff);
-  { inst; layout; k }
+  { inst; layout; k; feasible = Layout.feasible layout keff; degraded }
 
-let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed ?pool () =
+(* Conservative fallback when the solver cannot reach feasibility: keep
+   the instance's own track order and, in Min_area mode, interleave a
+   shield between every adjacent pair (zero capacitive coupling, maximal
+   inductive isolation short of more exotic layouts). *)
+let fallback_layout mode inst =
+  let n = Instance.size inst in
+  let slots =
+    match mode with
+    | _ when n = 0 -> [||]
+    | Order_only -> Array.init n (fun q -> Layout.Net q)
+    | Min_area ->
+        Array.init
+          ((2 * n) - 1)
+          (fun q -> if q land 1 = 1 then Layout.Shield else Layout.Net (q / 2))
+  in
+  Layout.make inst slots
+
+let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
+    ?(deadline = Eda_guard.Deadline.none) ?(retries = 2)
+    ?(on_infeasible = Eda_guard.Error.Degrade) ?pool () =
   Trace.span "phase2.solve" @@ fun () ->
   let members : (key, int list) Hashtbl.t = Hashtbl.create 256 in
   let net_regions : (int, key list) Hashtbl.t = Hashtbl.create 256 in
@@ -78,20 +107,91 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed ?pool () =
     let inst =
       Instance.make ~nets ~kth:kth_arr ~sensitive:(Sensitivity.sensitive sensitivity)
     in
-    let rng = Rng.create (Hashtbl.hash (seed, r, Dir.to_string d)) in
-    let layout =
+    let attempt i =
+      (* attempt 0 keeps the historical panel-keyed seed (bit-identical
+         to the pre-guard flow); reseeds derive fresh streams per try *)
+      let rng =
+        if i = 0 then Rng.create (Hashtbl.hash (seed, r, Dir.to_string d))
+        else Rng.create (Hashtbl.hash (seed, r, Dir.to_string d, 0x5eed + i))
+      in
+      Eda_guard.Fault.point "phase2.solve";
       match mode with
       | Order_only -> Solver.order_only rng inst
-      | Min_area -> Solver.min_area ~params:keff rng inst
+      | Min_area -> Solver.min_area ~params:keff ~deadline rng inst
+    in
+    (* Order_only is the shield-free NO baseline: it ignores inductive
+       bounds by design, so infeasibility is expected there and never
+       retried — only Min_area panels go through the retry ladder. *)
+    let acceptable l =
+      match mode with Order_only -> true | Min_area -> Layout.feasible l keff
+    in
+    let fallback best =
+      Metrics.incr (c_fallbacks ());
+      let fb = fallback_layout mode inst in
+      match best with
+      | Some l when not (Layout.feasible fb keff) -> l
+      | Some _ | None -> fb
+    in
+    let rec run i best =
+      match attempt i with
+      | l when acceptable l -> (l, false)
+      | l ->
+          if Eda_guard.Deadline.expired deadline then
+            (* out of time: keep the best-so-far, tagged degraded *)
+            (l, true)
+          else if i < retries then begin
+            Metrics.incr (c_retries ());
+            run (i + 1) (Some l)
+          end
+          else begin
+            match on_infeasible with
+            | Eda_guard.Error.Fail ->
+                Eda_guard.Error.raise_
+                  (Eda_guard.Error.Infeasible
+                     {
+                       region = r;
+                       dir = Dir.to_string d;
+                       nets = Array.length nets;
+                       retries;
+                     })
+            | Eda_guard.Error.Degrade -> (fallback (Some l), true)
+          end
+      | exception Eda_guard.Error.Error (Eda_guard.Error.Worker_crash _)
+        when i < retries ->
+          Metrics.incr (c_retries ());
+          run (i + 1) best
+      | exception Eda_guard.Error.Error (Eda_guard.Error.Worker_crash _ as e) ->
+          (match on_infeasible with
+          | Eda_guard.Error.Fail -> Eda_guard.Error.raise_ e
+          | Eda_guard.Error.Degrade -> (fallback best, true))
+    in
+    let layout, degraded =
+      match mode with
+      | Min_area when Eda_guard.Deadline.expired deadline ->
+          (* the budget was gone before this panel was even attempted:
+             take the conservative all-shield fallback immediately so
+             degradation latency stays bounded by the panel count, not
+             by full solves that would be thrown away anyway *)
+          (fallback None, true)
+      | Min_area | Order_only -> run 0 None
     in
     Metrics.incr (match d with Dir.H -> m_panels_h | Dir.V -> m_panels_v);
     Metrics.observe h_panel_nets (float_of_int (Array.length nets));
     Metrics.add m_shields (Layout.num_shields layout);
-    soln_of_layout ~keff inst layout
+    soln_of_layout ~keff ~degraded inst layout
   in
   let solns = Eda_exec.map_array ?pool solve_panel panels in
   let table = Hashtbl.create (Array.length panels) in
   Array.iteri (fun i soln -> Hashtbl.replace table (fst panels.(i)) soln) solns;
+  (if Eda_guard.Deadline.expired deadline then
+     Eda_guard.Deadline.mark deadline ~phase:"sino");
+  (match mode with
+  | Min_area ->
+      let n =
+        Hashtbl.fold (fun _ s acc -> if s.feasible then acc else acc + 1) table 0
+      in
+      if n > 0 then Metrics.add (c_infeasible ()) n
+  | Order_only -> ());
   { grid; keff; table; net_regions }
 
 let find t key = Hashtbl.find_opt t.table key
@@ -109,8 +209,9 @@ let total_shields t =
 
 let replace t key soln = Hashtbl.replace t.table key soln
 
-let resolve t key inst rng =
+let resolve ?(deadline = Eda_guard.Deadline.none) t key inst rng =
   Metrics.incr m_resolves;
+  Eda_guard.Fault.point "refine.resolve";
   (* warm-start from the current layout when the instance is the same net
      set with changed bounds (the Phase III case): keeps the ordering and
      the other nets' couplings stable, and is much cheaper *)
@@ -122,10 +223,21 @@ let resolve t key inst rng =
   in
   let layout =
     match find t key with
-    | Some s when same_nets s -> Solver.repair ~params:t.keff inst s.layout
-    | Some _ | None -> Solver.min_area ~params:t.keff rng inst
+    | Some s when same_nets s -> Solver.repair ~params:t.keff ~deadline inst s.layout
+    | Some _ | None -> Solver.min_area ~params:t.keff ~deadline rng inst
   in
   soln_of_layout ~keff:t.keff inst layout
+
+let feasible t key =
+  match find t key with None -> true | Some s -> s.feasible
+
+let infeasible_panels t =
+  Hashtbl.fold (fun key s acc -> if s.feasible then acc else key :: acc) t.table []
+  |> List.sort compare
+
+let degraded_panels t =
+  Hashtbl.fold (fun key s acc -> if s.degraded then key :: acc else acc) t.table []
+  |> List.sort compare
 
 let apply_shields usage t =
   Hashtbl.iter

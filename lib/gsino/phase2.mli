@@ -10,6 +10,12 @@ type soln = {
   inst : Eda_sino.Instance.t;
   layout : Eda_sino.Layout.t;
   k : (int, float) Hashtbl.t;  (** global net id → K_i in this region *)
+  feasible : bool;
+      (** [Layout.feasible layout keff] — computed once at construction
+          so callers (and the checker) need not remember to ask *)
+  degraded : bool;
+      (** the solver could not reach feasibility (retries exhausted →
+          fallback layout, or the deadline expired mid-solve) *)
 }
 
 type t
@@ -20,7 +26,18 @@ type mode = Order_only | Min_area
     builds and solves every non-empty region instance.  [kth net] supplies
     the per-net bound from Phase I budgeting.  Panels are independent
     (each has its own panel-keyed RNG seed): with [?pool] they are solved
-    in parallel with results identical to the sequential order. *)
+    in parallel with results identical to the sequential order.
+
+    A [Min_area] panel that comes back infeasible is retried up to
+    [retries] times with fresh reseeded RNG streams (attempt 0 keeps the
+    historical seed, so feasible-first-try runs are bit-identical to the
+    pre-guard flow); if still infeasible, [on_infeasible] decides:
+    [Fail] raises [Eda_guard.Error.Error (Infeasible _)], [Degrade]
+    installs a conservative all-shield fallback and tags the panel
+    degraded (bumping [guard.retries] / [guard.fallbacks] /
+    [phase2.infeasible_panels]).  An expired [deadline] stops both the
+    per-panel improvement stages and the retry ladder, keeping
+    best-so-far results.  [phase2.solve] is a fault-injection site. *)
 val solve :
   grid:Eda_grid.Grid.t ->
   netlist:Eda_netlist.Netlist.t ->
@@ -30,6 +47,9 @@ val solve :
   keff:Eda_sino.Keff.params ->
   mode:mode ->
   seed:int ->
+  ?deadline:Eda_guard.Deadline.t ->
+  ?retries:int ->
+  ?on_infeasible:Eda_guard.Error.policy ->
   ?pool:Eda_exec.t ->
   unit ->
   t
@@ -53,8 +73,28 @@ val total_shields : t -> int
 val replace : t -> key -> soln -> unit
 
 (** [resolve t key inst rng] — re-run min-area SINO on a (possibly
-    re-bounded) instance and build the [soln] record. *)
-val resolve : t -> key -> Eda_sino.Instance.t -> Eda_util.Rng.t -> soln
+    re-bounded) instance and build the [soln] record.  [refine.resolve]
+    is a fault-injection site; an expired [deadline] degrades to the
+    cheap repair stages only. *)
+val resolve :
+  ?deadline:Eda_guard.Deadline.t ->
+  t ->
+  key ->
+  Eda_sino.Instance.t ->
+  Eda_util.Rng.t ->
+  soln
+
+(** [feasible t key] — the stored panel's feasibility; [true] for regions
+    no net crosses. *)
+val feasible : t -> key -> bool
+
+(** Keys whose stored solution violates its bounds (sorted).  For the
+    [Order_only] baseline this is expected and merely descriptive. *)
+val infeasible_panels : t -> key list
+
+(** Keys that took the degraded path (fallback layout or deadline
+    truncation), sorted. *)
+val degraded_panels : t -> key list
 
 (** [apply_shields u t] — write every region's shield count into the
     usage accounting (for congestion and area metrics). *)

@@ -50,12 +50,17 @@ let net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route =
 
 (* ---------------- Pass 1: eliminate violations --------------------- *)
 
-let pass1 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
+let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
+    ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
   let gcell_um = Usage.gcell_um usage in
   let fixes = ref 0 and resolves = ref 0 in
   let given_up : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let continue_outer = ref true in
-  while !continue_outer do
+  (* checkpoint: each round rip-ups exactly one net and re-solves its
+     regions through Phase2.replace, so the table is consistent between
+     rounds; stopping early just leaves more residual violations *)
+  while !continue_outer && not (Eda_guard.Deadline.check deadline ~phase:"refine")
+  do
     Metrics.incr m_ripup_rounds;
     (* the full-netlist violation scan each round is the expensive part
        of this pass; it is read-only, so it fans out over the pool while
@@ -74,7 +79,10 @@ let pass1 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng (
         let n_keys = List.length (Phase2.regions_of_net phase2 i) in
         let inner_guard = ref (4 * max 10 n_keys) in
         let fixed = ref false and exhausted = ref false in
-        while (not !fixed) && (not !exhausted) && !inner_guard > 0 do
+        while
+          (not !fixed) && (not !exhausted) && !inner_guard > 0
+          && not (Eda_guard.Deadline.expired deadline)
+        do
           decr inner_guard;
           (* least congested region on the net's route whose bound for
              this net still has room to tighten.  The Kth reduction is
@@ -131,7 +139,9 @@ let pass1 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng (
                               Float.max 0.02 (k_now -. Float.min dk one_shield)
                             in
                             let inst' = Instance.with_kth soln.Phase2.inst li target in
-                            let soln' = Phase2.resolve phase2 key inst' (Rng.split rng) in
+                            let soln' =
+                              Phase2.resolve ~deadline phase2 key inst' (Rng.split rng)
+                            in
                             incr resolves;
                             Metrics.incr m_resolves;
                             Metrics.add m_reordered (Instance.size inst');
@@ -154,7 +164,8 @@ let pass1 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng (
 
 (* ---------------- Pass 2: reduce congestion ------------------------ *)
 
-let pass2 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
+let pass2 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
+    ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
   let gcell_um = Usage.gcell_um usage in
   let removed = ref 0 and resolves = ref 0 in
   let lsk_budget = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
@@ -179,7 +190,12 @@ let pass2 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng (
   Phase2.iter phase2 (fun _ _ -> incr n_keys);
   let resolve_budget = 25 * max 1 !n_keys in
   let progress = ref true in
-  while !progress && !resolves < resolve_budget do
+  (* checkpoint: pass 2 is pure optimisation (shield removal with a
+     revert-on-violation guard), so any round boundary is a safe stop *)
+  while
+    !progress && !resolves < resolve_budget
+    && not (Eda_guard.Deadline.check deadline ~phase:"refine")
+  do
     progress := false;
     match keys_by_congestion () with
     | [] -> ()
@@ -222,7 +238,9 @@ let pass2 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng (
                       Float.max (Instance.kth inst_cur li) (k_now +. (0.9 *. s))
                     in
                     let inst' = Instance.with_kth inst_cur li new_kth in
-                    let soln' = Phase2.resolve phase2 key inst' (Rng.split rng) in
+                    let soln' =
+                      Phase2.resolve ~deadline phase2 key inst' (Rng.split rng)
+                    in
                     incr resolves;
                     Metrics.incr m_resolves;
                     Metrics.add m_reordered (Instance.size inst');
@@ -262,16 +280,19 @@ let pass2 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng (
   done;
   (!removed, !resolves)
 
-let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~seed ?pool () =
+let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~seed
+    ?(deadline = Eda_guard.Deadline.none) ?pool () =
   let rng = Rng.create seed in
   let gcell_um = Usage.gcell_um usage in
   let p1_fixed, p1_res =
     Trace.span "refine.pass1" (fun () ->
-        pass1 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng ())
+        pass1 ?pool ~deadline ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
+          ~bound_v ~rng ())
   in
   let p2_removed, p2_res =
     Trace.span "refine.pass2" (fun () ->
-        pass2 ?pool ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~rng ())
+        pass2 ?pool ~deadline ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
+          ~bound_v ~rng ())
   in
   let residual =
     List.length

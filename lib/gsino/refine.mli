@@ -27,6 +27,9 @@ type stats = {
   residual_violations : int;  (** should be 0 *)
 }
 
+(** [deadline] is checked between pass-1 rip-up rounds and pass-2 relax
+    rounds (both leave the Phase2 store consistent); expiry stops the
+    pass with its work so far and marks a ["refine"] deadline hit. *)
 val run :
   grid:Eda_grid.Grid.t ->
   netlist:Eda_netlist.Netlist.t ->
@@ -36,6 +39,7 @@ val run :
   lsk_model:Eda_lsk.Lsk.t ->
   bound_v:float ->
   seed:int ->
+  ?deadline:Eda_guard.Deadline.t ->
   ?pool:Eda_exec.t ->
   unit ->
   stats

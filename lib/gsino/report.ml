@@ -222,6 +222,7 @@ let metrics_summary fmt snap =
       ("phase II: SINO", [ "phase2"; "sino" ]);
       ("phase III: refinement", [ "refine" ]);
       ("flow", [ "flow" ]);
+      ("resilience", [ "guard" ]);
     ]
   in
   let prefix name =

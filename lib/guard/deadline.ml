@@ -1,0 +1,58 @@
+type state = {
+  until : float;
+  budget_ms : int;
+  mu : Mutex.t;
+  mutable hits : string list; (* reverse chronological *)
+}
+
+type t = state option
+
+let none = None
+
+(* Unix.gettimeofday is the only wall clock the baked-in toolchain exposes
+   portably; budgets are coarse (>= milliseconds) and checkpoints are
+   cooperative, so a rare clock step only shifts where degradation kicks
+   in, never correctness. *)
+let now = Unix.gettimeofday
+
+let start ~budget_ms =
+  if budget_ms <= 0 then None
+  else
+    Some
+      {
+        until = now () +. (float_of_int budget_ms /. 1000.0);
+        budget_ms;
+        mu = Mutex.create ();
+        hits = [];
+      }
+
+let budget_ms = function None -> 0 | Some s -> s.budget_ms
+let expired = function None -> false | Some s -> now () >= s.until
+
+let mark t ~phase =
+  match t with
+  | None -> ()
+  | Some s ->
+      Mutex.protect s.mu (fun () ->
+          if not (List.mem phase s.hits) then begin
+            s.hits <- phase :: s.hits;
+            (* Registered only when a deadline actually fires, so
+               deadline-free runs export a byte-identical metrics set. *)
+            Eda_obs.Metrics.incr
+              (Eda_obs.Metrics.counter ~labels:[ ("phase", phase) ]
+                 "guard.deadline_hits")
+          end)
+
+let check t ~phase =
+  if expired t then begin
+    mark t ~phase;
+    true
+  end
+  else false
+
+let hits t =
+  match t with
+  | None -> []
+  | Some s -> Mutex.protect s.mu (fun () -> List.rev s.hits)
+
+let error t ~phase = Error.Deadline { phase; budget_ms = budget_ms t }

@@ -1,0 +1,47 @@
+(** Cooperative wall-clock deadlines with graceful degradation.
+
+    A deadline is started once per flow ([start ~budget_ms]) and threaded
+    down to the long-running loops (ID-router rip-up, NC-router
+    negotiation, SINO improvement passes, refinement).  Each loop polls
+    {!expired} at a safe checkpoint — a point where stopping leaves a
+    {e valid} (connected, capacity-respecting) partial result — and on
+    expiry keeps its best-so-far answer instead of raising.  The phase
+    records the truncation with {!mark}, which feeds both the flow
+    result's degradation tags and the [guard.deadline_hits] counter.
+
+    Degraded results stay deterministic in {e content}: a checkpoint only
+    ever skips optional improvement work, never reorders it, so two runs
+    that expire at different checkpoints differ in quality but each is a
+    prefix of the same deterministic improvement sequence (see
+    DESIGN.md).  [t = none] (or [budget_ms <= 0]) disables every check at
+    a single branch's cost. *)
+
+type t
+
+(** No deadline: [expired] is always [false], [mark] a no-op. *)
+val none : t
+
+(** [start ~budget_ms] — deadline [budget_ms] from now; [budget_ms <= 0]
+    is {!none}. *)
+val start : budget_ms:int -> t
+
+(** The budget this deadline was created with; 0 for {!none}. *)
+val budget_ms : t -> int
+
+(** Has the budget been exhausted?  Cheap enough for inner loops. *)
+val expired : t -> bool
+
+(** [mark t ~phase] — record that [phase] was truncated (idempotent per
+    phase; bumps [guard.deadline_hits{phase}] on first mark). *)
+val mark : t -> phase:string -> unit
+
+(** [check t ~phase] — [expired t], marking [phase] when true.  The
+    one-liner for loop conditions on the coordinating domain. *)
+val check : t -> phase:string -> bool
+
+(** Phases marked so far, in first-marked order. *)
+val hits : t -> string list
+
+(** The {!Error.Deadline} value for this budget — for call sites with no
+    best-so-far state to degrade to. *)
+val error : t -> phase:string -> Error.t

@@ -1,0 +1,80 @@
+type policy = Fail | Degrade
+
+type t =
+  | Parse of { file : string option; line : int; token : string; msg : string }
+  | Unreachable of { net : int; region : int }
+  | Infeasible of { region : int; dir : string; nets : int; retries : int }
+  | Singular_matrix of { n : int; column : int; pivot : float }
+  | Deadline of { phase : string; budget_ms : int }
+  | Worker_crash of { site : string; msg : string }
+  | Nonfinite of { site : string; what : string }
+
+exception Error of t
+
+let class_name = function
+  | Parse _ -> "parse-error"
+  | Unreachable _ -> "unreachable-grid"
+  | Infeasible _ -> "infeasible-region"
+  | Singular_matrix _ -> "singular-matrix"
+  | Deadline _ -> "deadline-exceeded"
+  | Worker_crash _ -> "worker-crash"
+  | Nonfinite _ -> "nonfinite-value"
+
+(* The single error-class -> GSL diagnostic code mapping (README table).
+   Codes 1..16 belong to the Eda_check invariant rules and 17..19 to the
+   runtime findings they can also report; 20..23 are error-only. *)
+let gsl_code = function
+  | Unreachable _ -> 17
+  | Infeasible _ -> 18
+  | Deadline _ -> 19
+  | Parse _ -> 20
+  | Singular_matrix _ -> 21
+  | Worker_crash _ -> 22
+  | Nonfinite _ -> 23
+
+(* The single error-class -> process exit code mapping.  0 = success
+   (possibly degraded), 1 = lint findings / regression breach, then: *)
+let exit_code = function
+  | Parse _ | Unreachable _ -> 2 (* usage / malformed input *)
+  | Infeasible _ -> 3 (* infeasible under Fail policy *)
+  | Deadline _ -> 4 (* budget exhausted, no degradable state *)
+  | Singular_matrix _ | Worker_crash _ | Nonfinite _ -> 5 (* internal *)
+
+let to_string = function
+  | Parse { file; line; token; msg } ->
+      Printf.sprintf "%sline %d: %s%s"
+        (match file with Some f -> f ^ ": " | None -> "")
+        line msg
+        (if token = "" then "" else Printf.sprintf " (at %S)" token)
+  | Unreachable { net; region } ->
+      Printf.sprintf
+        "net %d: terminal region %d unreachable (disconnected grid)" net region
+  | Infeasible { region; dir; nets; retries } ->
+      Printf.sprintf
+        "region %d/%s: SINO infeasible for %d nets after %d reseeded retries"
+        region dir nets retries
+  | Singular_matrix { n; column; pivot } ->
+      Printf.sprintf "singular matrix (n=%d, best |pivot| %.3e in column %d)" n
+        pivot column
+  | Deadline { phase; budget_ms } ->
+      Printf.sprintf "deadline of %d ms exhausted in phase %s" budget_ms phase
+  | Worker_crash { site; msg } ->
+      Printf.sprintf "worker crash at %s: %s" site msg
+  | Nonfinite { site; what } ->
+      Printf.sprintf "non-finite value at %s: %s" site what
+
+let raise_ e = raise (Error e)
+
+(* Known foreign exceptions folded into the taxonomy; the CLIs call this
+   so no bare [Failure] reaches the user. *)
+let of_exn = function
+  | Error e -> Some e
+  | Eda_util.Matrix.Singular { n; column; pivot } ->
+      Some (Singular_matrix { n; column; pivot })
+  | _ -> None
+
+let () =
+  Printexc.register_printer (function
+    | Error e ->
+        Some (Printf.sprintf "Eda_guard.Error(%s: %s)" (class_name e) (to_string e))
+    | _ -> None)

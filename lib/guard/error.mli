@@ -1,0 +1,67 @@
+(** Typed failure taxonomy for the whole flow.
+
+    Every way the pipeline can fail — malformed input, a disconnected
+    routing grid, an infeasible SINO region, a singular MNA matrix, an
+    exhausted time budget, a crashed (or fault-injected) worker, a
+    non-finite simulation value — is one constructor of {!t}, and the
+    taxonomy owns the {e single} mapping from failure class to GSL
+    diagnostic code ({!gsl_code}) and to process exit code
+    ({!exit_code}).  Libraries raise {!Error}; the CLIs catch it once in
+    [Cli_common] and render/exit uniformly, so no bare [Failure] ever
+    reaches the user.
+
+    This module deliberately depends only on [eda_util]: payloads are
+    plain ints/strings (a panel direction travels as ["H"]/["V"]) so the
+    netlist loader, the linear-algebra kernel and the routers can all
+    raise it without dependency cycles through [eda_check]. *)
+
+(** What to do when a region stays infeasible after all retries:
+    [Fail] raises [Error (Infeasible _)]; [Degrade] installs a
+    conservative all-shield fallback layout and tags the panel degraded. *)
+type policy = Fail | Degrade
+
+type t =
+  | Parse of { file : string option; line : int; token : string; msg : string }
+      (** Malformed netlist text: [line] is 1-based, [token] the offending
+          lexeme (may be [""] for structural errors). *)
+  | Unreachable of { net : int; region : int }
+      (** A net terminal sits in a region the router cannot reach. *)
+  | Infeasible of { region : int; dir : string; nets : int; retries : int }
+      (** A SINO panel stayed infeasible after [retries] reseeded solves
+          (only raised under the [Fail] policy). *)
+  | Singular_matrix of { n : int; column : int; pivot : float }
+      (** [Matrix.lu_factor] hit a zero pivot (see
+          {!Eda_util.Matrix.Singular}). *)
+  | Deadline of { phase : string; budget_ms : int }
+      (** The time budget expired with no best-so-far state to degrade
+          to. *)
+  | Worker_crash of { site : string; msg : string }
+      (** A worker (or fault-injection site) raised; [site] names the
+          injection point or execution context. *)
+  | Nonfinite of { site : string; what : string }
+      (** A NaN/Inf escaped a numeric kernel. *)
+
+exception Error of t
+
+(** Stable kebab-case class name (["parse-error"], ["deadline-exceeded"],
+    ...), used in logs and the README table. *)
+val class_name : t -> string
+
+(** GSL diagnostic code for the class: 17 unreachable, 18 infeasible,
+    19 deadline, 20 parse, 21 singular, 22 worker crash, 23 non-finite. *)
+val gsl_code : t -> int
+
+(** Process exit code for the class: 2 usage/input (parse, unreachable),
+    3 infeasible, 4 deadline, 5 internal (singular, crash, non-finite).
+    0 is success — possibly degraded — and 1 is lint findings/regression. *)
+val exit_code : t -> int
+
+(** Human-oriented one-line rendering (no class prefix). *)
+val to_string : t -> string
+
+(** [raise_ e] raises [Error e]. *)
+val raise_ : t -> 'a
+
+(** Fold a foreign exception into the taxonomy when a mapping exists
+    ([Error] itself, [Matrix.Singular]); [None] for anything else. *)
+val of_exn : exn -> t option

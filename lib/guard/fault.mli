@@ -1,0 +1,61 @@
+(** Deterministic fault-injection harness.
+
+    Production code is sprinkled with cheap named {e sites} —
+    [point "phase2.solve"], [corrupt "matrix.lu" v] — that are inert
+    (one atomic load) unless a matching fault spec is installed, either
+    programmatically ({!set}) or from the [GSINO_FAULTS] environment
+    variable ({!init_from_env}).  An active site then probabilistically
+    raises a typed {!Error.Worker_crash}, sleeps, or corrupts a value to
+    NaN, drawing from a per-site seeded RNG so sequential runs replay the
+    exact same injection sequence.
+
+    Spec syntax (comma-separated): [site=mode[@prob][#seed]] where mode
+    is [raise], [nan] or [delay:MS]; [prob] defaults to [1.0], [seed] to
+    a site-derived constant.  Example:
+    [GSINO_FAULTS="phase2.solve=raise@0.5#42,matrix.lu=nan"].
+
+    Registered sites (this PR): [io.load], [phase2.solve],
+    [refine.resolve], [matrix.lu], [exec.worker].  [raise]/[delay] act at
+    {!point} sites, [nan] only where a {!corrupt} call wraps a value
+    ([matrix.lu]); a mode installed at a site that never performs the
+    matching action simply stays silent.
+
+    Installation is coordinator-only and must happen before worker
+    domains start (the CLIs do it at startup); firing is safe from any
+    domain.  Every injection bumps [guard.injected{site}]. *)
+
+type mode =
+  | Raise  (** raise [Error (Worker_crash {site; _})] *)
+  | Delay of int  (** sleep this many milliseconds *)
+  | Corrupt  (** turn the wrapped value into NaN *)
+
+type spec = { site : string; mode : mode; prob : float; seed : int }
+
+(** ["GSINO_FAULTS"]. *)
+val env_var : string
+
+(** Parse a comma-separated spec string; [Error msg] on the first bad
+    entry. *)
+val parse : string -> (spec list, string) result
+
+(** Install specs (replacing any previous configuration). *)
+val set : spec list -> unit
+
+(** Remove all faults; sites become inert again. *)
+val clear : unit -> unit
+
+(** Configure from [GSINO_FAULTS]; unset/empty clears and succeeds. *)
+val init_from_env : unit -> (unit, string) result
+
+(** Any faults installed? *)
+val active : unit -> bool
+
+(** Sites with an installed spec, sorted. *)
+val sites : unit -> string list
+
+(** Execution-point site: may raise or delay per the installed spec. *)
+val point : string -> unit
+
+(** Value site: [corrupt site v] is [v], or NaN when a [nan] fault
+    fires. *)
+val corrupt : string -> float -> float

@@ -16,11 +16,17 @@
 (** [to_string nl] / [of_string s] — serialization round-trip. *)
 val to_string : Netlist.t -> string
 
-(** [of_string s] raises [Failure] with a line-numbered message on
-    malformed input. *)
-val of_string : string -> Netlist.t
+(** [of_string ?file s] raises [Eda_guard.Error.Error (Parse _)] — with
+    the 1-based line number, the offending token and [file] when given —
+    on malformed input: bad/missing records, duplicate or
+    non-consecutive net ids, pins outside the declared grid, and absurd
+    counts (grid dimensions, net ids, sink counts beyond any plausible
+    benchmark). *)
+val of_string : ?file:string -> string -> Netlist.t
 
-(** [save path nl] / [load path] — file convenience wrappers. *)
+(** [save path nl] / [load path] — file convenience wrappers.  [load] is
+    an [io.load] fault-injection site and tags parse errors with
+    [path]. *)
 val save : string -> Netlist.t -> unit
 
 val load : string -> Netlist.t

@@ -1,5 +1,6 @@
 module Rng = Eda_util.Rng
 module Metrics = Eda_obs.Metrics
+module Deadline = Eda_guard.Deadline
 
 (* SINO solver telemetry: shields placed/dropped by the heuristic and the
    annealer's move acceptance *)
@@ -118,10 +119,12 @@ let swap_cap_delta inst slots a b =
   slots.(b) <- tmp;
   after - before
 
-let swap_improve inst slots ~passes =
+let swap_improve ?(deadline = Deadline.none) inst slots ~passes =
   let n = Array.length slots in
   let improved = ref true and pass = ref 0 in
-  while !improved && !pass < passes do
+  (* checkpoint: each pass leaves a valid permutation, so stopping between
+     passes only costs quality *)
+  while !improved && !pass < passes && not (Deadline.expired deadline) do
     improved := false;
     incr pass;
     for a = 0 to n - 2 do
@@ -201,11 +204,13 @@ let cap_fix inst slots =
    that spans them, so the total violation is non-increasing and reaches
    zero; place each shield at the locally best gap near the worst
    violator. *)
-let inductive_fix inst params slots max_passes =
+let inductive_fix ?(deadline = Deadline.none) inst params slots max_passes =
   let slots = ref slots in
   let iter = ref 0 in
   let continue_ = ref true in
-  while !continue_ && !iter < max_passes do
+  (* checkpoint: every iteration inserts one shield and strictly shrinks
+     the violation sum, so the partial result is the best-so-far repair *)
+  while !continue_ && !iter < max_passes && not (Deadline.expired deadline) do
     incr iter;
     let s = !slots in
     match worst_violator inst params s with
@@ -237,10 +242,12 @@ let inductive_fix inst params slots max_passes =
   !slots
 
 (* Clean-up: drop any shield whose removal keeps feasibility. *)
-let shield_cleanup inst params slots =
+let shield_cleanup ?(deadline = Deadline.none) inst params slots =
   let slots = ref slots in
   let removed = ref true in
-  while !removed do
+  (* checkpoint: cleanup only drops redundant shields — skipping the rest
+     of it is conservative (more shields, same feasibility) *)
+  while !removed && not (Deadline.expired deadline) do
     removed := false;
     let s = !slots in
     let len = Array.length s in
@@ -267,21 +274,26 @@ let shield_cleanup inst params slots =
   done;
   !slots
 
-let min_area ?(params = Keff.default) ?max_passes rng inst =
+let min_area ?(params = Keff.default) ?max_passes ?(deadline = Deadline.none)
+    rng inst =
   Metrics.incr m_instances;
   let n = Instance.size inst in
   if n = 0 then to_layout inst [||]
   else begin
     let max_passes = Option.value max_passes ~default:(10 * n) in
+    (* greedy_order and cap_fix always run (they are cheap and establish
+       a valid, capacitively clean layout); the improvement stages check
+       the deadline at their own pass boundaries *)
     let slots = greedy_order rng inst in
-    swap_improve inst slots ~passes:4;
+    swap_improve ~deadline inst slots ~passes:4;
     let slots = cap_fix inst slots in
-    let slots = inductive_fix inst params slots max_passes in
-    let slots = shield_cleanup inst params slots in
+    let slots = inductive_fix ~deadline inst params slots max_passes in
+    let slots = shield_cleanup ~deadline inst params slots in
     to_layout inst slots
   end
 
-let repair ?(params = Keff.default) ?max_passes inst layout =
+let repair ?(params = Keff.default) ?max_passes ?(deadline = Deadline.none)
+    inst layout =
   Metrics.incr m_repairs;
   let n = Instance.size inst in
   if n = 0 then to_layout inst [||]
@@ -293,8 +305,8 @@ let repair ?(params = Keff.default) ?max_passes inst layout =
         (Layout.slots layout)
     in
     let slots = cap_fix inst slots in
-    let slots = inductive_fix inst params slots max_passes in
-    let slots = shield_cleanup inst params slots in
+    let slots = inductive_fix ~deadline inst params slots max_passes in
+    let slots = shield_cleanup ~deadline inst params slots in
     to_layout inst slots
   end
 
@@ -314,7 +326,8 @@ let cost inst params slots =
   let shields = Array.fold_left (fun acc v -> if v = shield then acc + 1 else acc) 0 slots in
   float_of_int shields +. violation_cost inst params slots
 
-let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5) rng inst layout =
+let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5)
+    ?(deadline = Deadline.none) rng inst layout =
   let n = Instance.size inst in
   if n <= 1 then layout
   else begin
@@ -331,7 +344,15 @@ let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5) rng inst layout 
     let best = ref (Array.copy !slots) in
     let cur_cost = ref (cost inst params !slots) in
     let best_cost = ref !cur_cost in
-    for step = 0 to moves - 1 do
+    (* checkpoint: the deadline is polled every 256 moves; the annealer
+       tracks best-so-far, so an early stop returns a valid improvement *)
+    let step_ref = ref 0 in
+    while
+      !step_ref < moves
+      && ((!step_ref land 255 <> 0) || not (Deadline.expired deadline))
+    do
+      let step = !step_ref in
+      incr step_ref;
       let temp = t0 *. (1.0 -. (float_of_int step /. float_of_int moves)) +. 1e-3 in
       let s = !slots in
       let len = Array.length s in

@@ -14,12 +14,20 @@
     The layout has exactly [size inst] tracks and no shields. *)
 val order_only : Eda_util.Rng.t -> Instance.t -> Layout.t
 
-(** [min_area ?params ?max_passes rng inst] — feasible layout unless the
-    instance is pathologically tight, in which case the best effort is
-    returned (check {!Layout.feasible}).  [max_passes] bounds the repair
-    loop (default 6 · size). *)
+(** [min_area ?params ?max_passes ?deadline rng inst] — feasible layout
+    unless the instance is pathologically tight, in which case the best
+    effort is returned (check {!Layout.feasible}; [Gsino.Phase2] counts
+    and retries these).  [max_passes] bounds the repair loop (default
+    6 · size).  An expired [deadline] skips the improvement stages at
+    their pass boundaries — the result is always a valid layout, just
+    less optimized (greedy order + capacitive fix still run). *)
 val min_area :
-  ?params:Keff.params -> ?max_passes:int -> Eda_util.Rng.t -> Instance.t -> Layout.t
+  ?params:Keff.params ->
+  ?max_passes:int ->
+  ?deadline:Eda_guard.Deadline.t ->
+  Eda_util.Rng.t ->
+  Instance.t ->
+  Layout.t
 
 (** [repair ?params ?max_passes inst layout] — re-establish feasibility for
     an instance whose bounds changed (Phase III tightens/relaxes one net at
@@ -29,7 +37,12 @@ val min_area :
     minimally disturbs the other nets' couplings.  [layout] must belong to
     an instance with the same nets in the same order. *)
 val repair :
-  ?params:Keff.params -> ?max_passes:int -> Instance.t -> Layout.t -> Layout.t
+  ?params:Keff.params ->
+  ?max_passes:int ->
+  ?deadline:Eda_guard.Deadline.t ->
+  Instance.t ->
+  Layout.t ->
+  Layout.t
 
 (** [anneal ?params ?moves ?t0 rng inst layout] — simulated-annealing
     improvement of a feasible layout: random adjacent swaps, shield
@@ -37,11 +50,13 @@ val repair :
     [#shields + big · violations].  SINO is NP-hard; this quantifies how
     far the greedy {!min_area} heuristic is from a slower, stronger
     optimizer (the bench's solver ablation).  Returns a layout no worse
-    than the input. *)
+    than the input.  [deadline] is polled every 256 moves; on expiry the
+    best-so-far layout is returned. *)
 val anneal :
   ?params:Keff.params ->
   ?moves:int ->
   ?t0:float ->
+  ?deadline:Eda_guard.Deadline.t ->
   Eda_util.Rng.t ->
   Instance.t ->
   Layout.t ->

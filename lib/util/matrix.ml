@@ -1,5 +1,17 @@
 type t = { r : int; c : int; d : float array }
 
+exception Singular of { n : int; column : int; pivot : float }
+
+let () =
+  Printexc.register_printer (function
+    | Singular { n; column; pivot } ->
+        Some
+          (Printf.sprintf
+             "Matrix.lu_factor: singular matrix (n=%d, best |pivot| %.3e in \
+              column %d)"
+             n pivot column)
+    | _ -> None)
+
 let create r c =
   if r <= 0 || c <= 0 then invalid_arg "Matrix.create: non-positive dims";
   { r; c; d = Array.make (r * c) 0.0 }
@@ -89,12 +101,7 @@ let lu_factor a =
         piv := i
       end
     done;
-    if !best < 1e-13 then
-      failwith
-        (Printf.sprintf
-           "Matrix.lu_factor: singular matrix (n=%d, best |pivot| %.3e in \
-            column %d)"
-           n !best k);
+    if !best < 1e-13 then raise (Singular { n; column = k; pivot = !best });
     if !piv <> k then begin
       for j = 0 to n - 1 do
         let tmp = f.((k * n) + j) in

@@ -3,6 +3,13 @@
 
 type t
 
+(** Raised by [lu_factor] (and everything built on it) when the matrix is
+    singular to working precision: [n] is the matrix order, [column] the
+    elimination column and [pivot] the best |pivot| found there.  A printer
+    is registered, so an uncaught one still renders the classic
+    "Matrix.lu_factor: singular matrix (...)" message. *)
+exception Singular of { n : int; column : int; pivot : float }
+
 (** [create rows cols] is a zero matrix. *)
 val create : int -> int -> t
 
@@ -33,8 +40,8 @@ val mulv : t -> float array -> float array
     (the transient simulator factors once per timestep size). *)
 type lu
 
-(** [lu_factor a] factors a square matrix.  Raises [Failure] if singular to
-    working precision. *)
+(** [lu_factor a] factors a square matrix.  Raises [Singular] if singular
+    to working precision. *)
 val lu_factor : t -> lu
 
 (** [lu_solve lu b] solves [A x = b] for the factored [A]; [b] is not

@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# CLI exit-code contract test for the three gsino drivers.
+#
+# Exercises every failure class reachable from a command line and
+# asserts the documented exit status (see README "Failure modes &
+# degradation"): 0 ok/degraded, 1 findings or regression breach,
+# 2 usage or input error, 5 internal (injected worker crash GSL0022,
+# non-finite value GSL0023).  Classes that no CLI path can reach —
+# infeasible under Fail (3) and a hard deadline error (4) — have their
+# mapping covered in test/test_guard.ml.
+#
+# Every invocation also checks that no uncaught exception leaked: a
+# typed failure prints exactly one GSL-coded line, never an OCaml
+# "Fatal error" banner or a backtrace.
+set -u
+
+RUN=$(realpath "$1")
+LINT=$(realpath "$2")
+DIFF=$(realpath "$3")
+POLICY=$(realpath "$4")
+BASELINE=$(realpath "$5")
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+cd "$work"
+
+failures=0
+
+# expect CODE DESC -- cmd args...
+expect() {
+  local want="$1" desc="$2"
+  shift 3
+  "$@" >stdout.log 2>stderr.log
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $desc: exit $got, expected $want"
+    sed 's/^/  stderr: /' stderr.log
+    failures=$((failures + 1))
+  elif grep -qE "Fatal error|Raised at|Raised by" stderr.log; then
+    echo "FAIL $desc: uncaught exception reached the CLI"
+    sed 's/^/  stderr: /' stderr.log
+    failures=$((failures + 1))
+  else
+    echo "ok   $desc (exit $got)"
+  fi
+}
+
+# stderr of the last expect must contain every given pattern
+expect_stderr() {
+  local pat
+  for pat in "$@"; do
+    if ! grep -q "$pat" stderr.log; then
+      echo "FAIL stderr missing '$pat'"
+      sed 's/^/  stderr: /' stderr.log
+      failures=$((failures + 1))
+    fi
+  done
+}
+
+# a metric series must exist in a snapshot file
+expect_metric() {
+  local file="$1" name="$2"
+  if ! grep -q "\"$name\"" "$file"; then
+    echo "FAIL $file: missing metric $name"
+    failures=$((failures + 1))
+  fi
+}
+
+base=(-c ibm01 -s 0.02 --seed 7 -q)
+
+# ---- exit 0: clean runs ----
+expect 0 "gsino_run clean" -- "$RUN" run "${base[@]}" --jobs 1 \
+  --metrics clean.json
+expect 0 "gsino_lint clean" -- "$LINT" "${base[@]}"
+
+# ---- exit 2: usage / input errors ----
+printf 'gsino-netlist v1\nname bad\ngrid 4 4 10\nnet 0 0 0 9 9\n' >bad.nl
+expect 2 "gsino_run parse error (GSL0020)" -- "$RUN" run -q --netlist bad.nl
+expect_stderr "GSL0020" "line 4" "9 9"
+expect 2 "gsino_lint parse error (GSL0020)" -- "$LINT" -q --netlist bad.nl
+expect_stderr "GSL0020"
+expect 2 "malformed GSINO_FAULTS spec" -- \
+  env GSINO_FAULTS="bogus" "$RUN" run "${base[@]}"
+expect_stderr "GSINO_FAULTS"
+expect 2 "gsino_diff missing snapshot" -- "$DIFF" missing.json clean.json
+
+# ---- exit 5: injected internal failures (GSL0022) ----
+printf 'gsino-netlist v1\nname tiny\ngrid 4 4 10\nnet 0 0 0 1 1\n' >tiny.nl
+expect 5 "io.load fault" -- \
+  env GSINO_FAULTS="io.load=raise#123" "$RUN" run -q --netlist tiny.nl
+expect_stderr "GSL0022" "io.load"
+expect 5 "exec.worker fault (--jobs 2)" -- \
+  env GSINO_FAULTS="exec.worker=raise#123" "$RUN" run "${base[@]}" --jobs 2
+expect_stderr "GSL0022" "exec.worker"
+expect 5 "refine.resolve fault" -- \
+  env GSINO_FAULTS="refine.resolve=raise#123" "$RUN" run "${base[@]}" --jobs 1 \
+  --metrics crash.json
+expect_stderr "GSL0022" "refine.resolve"
+# a crashed run must still flush its --metrics artifact for triage
+expect_metric crash.json "guard.injected"
+# the LSK table build simulates circuits: a corrupted LU solve is caught
+# at the source as the typed non-finite error (GSL0023), not as garbage
+# noise values downstream
+expect 5 "matrix.lu NaN corruption" -- \
+  env GSINO_FAULTS="matrix.lu=nan" "$RUN" run "${base[@]}" --jobs 1
+expect_stderr "GSL0023" "matrix.lu"
+
+# ---- exit 0 degraded: retry ladder falls back, lint tags GSL0018 ----
+expect 0 "phase2.solve fault degrades" -- \
+  env GSINO_FAULTS="phase2.solve=raise#123" "$RUN" run "${base[@]}" --jobs 1 \
+  --metrics degraded.json
+expect_metric degraded.json "guard.retries"
+expect_metric degraded.json "guard.fallbacks"
+env GSINO_FAULTS="phase2.solve=raise#123" \
+  "$LINT" "${base[@]}" --max-print 0 >lint.out 2>/dev/null
+if ! grep -q "GSL0018" lint.out; then
+  echo "FAIL degraded lint: no GSL0018 finding"
+  failures=$((failures + 1))
+else
+  echo "ok   degraded lint emits GSL0018"
+fi
+
+# ---- exit 0 degraded: deadline expiry keeps best-so-far ----
+expect 0 "deadline run degrades (within 2x wall budget)" -- \
+  timeout 10 "$RUN" run "${base[@]}" --jobs 1 --deadline 1 \
+  --metrics deadline.json
+expect_metric deadline.json "guard.deadline_hits"
+
+# ---- exit 1: findings / regression breach ----
+expect 0 "gsino_diff identical snapshots" -- "$DIFF" clean.json clean.json
+expect 1 "gsino_diff policy breach" -- \
+  "$DIFF" --policy "$POLICY" "$BASELINE" deadline.json
+
+if [ "$failures" -gt 0 ]; then
+  echo "$failures CLI exit-code check(s) failed"
+  exit 1
+fi
+echo "all CLI exit-code checks passed"

@@ -109,7 +109,14 @@ let base () =
          (fun i r ->
            List.map
              (fun (region, dir) ->
-               { Checker.region; dir; shields = 0; nets = [| i |]; feasible = true })
+               {
+                 Checker.region;
+                 dir;
+                 shields = 0;
+                 nets = [| i |];
+                 feasible = true;
+                 degraded = false;
+               })
              (Route.occupied grid r))
          (Array.to_list routes))
   in
@@ -128,6 +135,7 @@ let base () =
     violations = [];
     bound_v = 0.15;
     metrics = [ ("total_wl_um", 300.0) ];
+    deadline_phases = [];
   }
 
 let codes sol = List.map (fun d -> d.Diag.code) (Checker.run sol)
@@ -142,8 +150,8 @@ let test_clean_fixture () =
   Alcotest.(check (list int)) "no findings" [] (codes (base ()))
 
 let test_rule_codes_unique () =
-  Alcotest.(check (list int)) "codes 1..16, one rule each"
-    (List.init 16 (fun i -> i + 1))
+  Alcotest.(check (list int)) "codes 1..16 + 18..19, one rule each"
+    (List.init 16 (fun i -> i + 1) @ [ 18; 19 ])
     (List.sort compare (List.map (fun (c, _, _) -> c) Checker.rules))
 
 let test_gsl0001_off_grid_route () =
@@ -204,7 +212,14 @@ let test_gsl0005_over_capacity_is_warning () =
       total_shields = 10;
       (* keep shield accounting consistent so only the capacity rule fires *)
       panels =
-        { Checker.region = r00; dir = Dir.H; shields = 10; nets = [| 0 |]; feasible = true }
+        {
+          Checker.region = r00;
+          dir = Dir.H;
+          shields = 10;
+          nets = [| 0 |];
+          feasible = true;
+          degraded = false;
+        }
         :: sol.Checker.panels;
     }
   in
@@ -288,6 +303,37 @@ let test_gsl0014_infeasible_panel () =
   Alcotest.(check bool) "GSL0014 fires" true
     (List.exists (fun d -> d.Diag.code = 14) diags);
   Alcotest.(check bool) "infeasibility is a warning" false (Diag.has_errors diags)
+
+let test_gsl0018_degraded_panel () =
+  let sol = base () in
+  let panels =
+    match sol.Checker.panels with
+    | first :: rest -> { first with Checker.degraded = true } :: rest
+    | [] -> assert false
+  in
+  let diags = Checker.run { sol with Checker.panels } in
+  Alcotest.(check bool) "GSL0018 fires" true
+    (List.exists (fun d -> d.Diag.code = 18) diags);
+  Alcotest.(check bool) "degradation is a warning" false (Diag.has_errors diags)
+
+let test_gsl0019_deadline () =
+  let diags =
+    Checker.run { (base ()) with Checker.deadline_phases = [ "route"; "sino" ] }
+  in
+  let hits = List.filter (fun d -> d.Diag.code = 19) diags in
+  Alcotest.(check int) "one GSL0019 finding" 1 (List.length hits);
+  Alcotest.(check bool) "names the phases" true
+    (match hits with
+    | [ d ] ->
+        let m = d.Diag.message in
+        let has s =
+          let ls, lm = (String.length s, String.length m) in
+          let rec go i = i + ls <= lm && (String.sub m i ls = s || go (i + 1)) in
+          go 0
+        in
+        has "route" && has "sino"
+    | _ -> false);
+  Alcotest.(check bool) "deadline is a warning" false (Diag.has_errors diags)
 
 let test_gsl0015_residual_violation () =
   let sol = { (base ()) with Checker.violations = [ (0, 0.3) ] } in
@@ -411,6 +457,9 @@ let suites =
           test_gsl0015_residual_violation;
         Alcotest.test_case "GSL0016 malformed netlist" `Quick
           test_gsl0016_malformed_netlist;
+        Alcotest.test_case "GSL0018 degraded panel" `Quick
+          test_gsl0018_degraded_panel;
+        Alcotest.test_case "GSL0019 deadline" `Quick test_gsl0019_deadline;
       ] );
     ( "check.flow",
       [

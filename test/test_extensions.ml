@@ -171,7 +171,9 @@ let test_io_rejects_garbage () =
     try
       ignore (Io.of_string input);
       false
-    with Failure _ | Invalid_argument _ -> true
+    with
+    | Eda_guard.Error.Error (Eda_guard.Error.Parse _) -> true
+    | Failure _ | Invalid_argument _ -> true
   in
   Alcotest.(check bool) "missing magic" true (bad "name x\ngrid 2 2 10\n");
   Alcotest.(check bool) "empty" true (bad "");
