@@ -337,6 +337,38 @@ let run_parallel_speedup () =
     s1 sn jobs_n speedup
     (if same then "identical" else "DIFFER (determinism bug!)")
 
+(* ------------------------- audit cost ------------------------------- *)
+
+let run_audit_cost () =
+  section "audit (Eda_analyze): static pre-pass cost vs route phase";
+  let tech = Tech.default in
+  let nl =
+    Generator.generate ~gcell_um:tech.Tech.gcell_um
+      ~scale:(Float.max scale 0.05) ~seed Generator.ibm01
+  in
+  let sens = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate:0.30 in
+  let config = { Flow.Config.default with Flow.Config.seed } in
+  let grid, _ = Flow.prepare ~config tech nl in
+  let r = Flow.run ~grid config tech ~sensitivity:sens nl in
+  let acfg = Flow.analyze_config tech in
+  (* several repetitions so the measurement is not clock-granularity *)
+  let reps = 5 in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to reps do
+    ignore (Eda_analyze.Analyze.run acfg ~grid ~sensitivity:sens nl)
+  done;
+  let audit_ms = (Unix.gettimeofday () -. t0) *. 1000.0 /. float_of_int reps in
+  Metrics.set (Metrics.gauge "bench.audit_ms") audit_ms;
+  let route_ms = r.Flow.route_s *. 1000.0 in
+  let pct = if route_ms > 0.0 then 100.0 *. audit_ms /. route_ms else 0.0 in
+  Format.printf
+    "  audit %.2f ms | route phase %.0f ms | audit = %.2f%% of route \
+     (budget 5%%)@."
+    audit_ms route_ms pct;
+  (* the audit must stay a rounding error next to routing — if this
+     trips, the analyzer grew a super-linear pass *)
+  assert (audit_ms < 0.05 *. route_ms)
+
 (* ----------------------- Bechamel timings --------------------------- *)
 
 let bechamel_tests () =
@@ -431,6 +463,7 @@ let () =
   run_ablations ();
   run_solver_ablation ();
   run_parallel_speedup ();
+  run_audit_cost ();
   run_bechamel ();
   section "timings (per-stage totals across the whole benchmark)";
   print_stage_durations ();

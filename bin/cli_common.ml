@@ -86,6 +86,15 @@ let deadline_arg =
   in
   Arg.(value & opt int 0 & info [ "deadline" ] ~docv:"MS" ~doc)
 
+let audit_arg =
+  let doc =
+    "Run the pre-route static audit (Eda_analyze) before each flow.  \
+     Provable infeasibilities are logged as GSL0024+/GSL0026 diagnostics; \
+     under the default Degrade policy the flow then proceeds anyway.  Use \
+     the $(b,gsino_audit) driver to audit without routing."
+  in
+  Arg.(value & flag & info [ "audit" ] ~doc)
+
 let jobs_arg =
   let doc =
     "Worker domains for the parallel flow sections (Phase II panels, Phase \

@@ -20,8 +20,8 @@ let netlist_file_arg =
        one."
 
 let run_cmd =
-  let run circuit scale seed rate router budgeting jobs deadline netlist_file
-      trace metrics report verbose quiet =
+  let run circuit scale seed rate router budgeting jobs deadline audit
+      netlist_file trace metrics report verbose quiet =
     let claimed = C.claim_stdout ~prog:"gsino_run" [ trace; metrics; report ] in
     let out = C.out_formatter ~claimed in
     C.with_obs ~prog:"gsino_run" ~trace ~metrics ~verbose ~quiet @@ fun () ->
@@ -37,6 +37,7 @@ let run_cmd =
         seed;
         jobs;
         deadline_ms = deadline;
+        audit;
       }
     in
     let grid, base = Flow.prepare ~config:(config Flow.Id_no) tech netlist in
@@ -93,8 +94,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
           $ C.router_arg $ C.budgeting_arg $ C.jobs_arg $ C.deadline_arg
-          $ netlist_file_arg $ C.trace_arg $ C.metrics_arg $ C.report_arg
-          $ C.verbose_arg $ C.quiet_arg)
+          $ C.audit_arg $ netlist_file_arg $ C.trace_arg $ C.metrics_arg
+          $ C.report_arg $ C.verbose_arg $ C.quiet_arg)
 
 let map_cmd =
   let run circuit scale seed rate jobs netlist_file =

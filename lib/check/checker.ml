@@ -32,6 +32,7 @@ type solution = {
   bound_v : float;
   metrics : (string * float) list;
   deadline_phases : string list;
+  keff : Eda_sino.Keff.params;
 }
 
 let err ~code ?locus fmt = Diag.makef ~code Diag.Error ?locus fmt
@@ -438,6 +439,36 @@ let rule_deadline sol =
           (String.concat ", " phases);
       ]
 
+(* GSL0028: a feasible panel must carry at least as many shields as the
+   clique lower bound of Eda_sino.Bound, which holds for every feasible
+   layout of its nets.  Fewer shields means the layout cannot actually
+   satisfy the capacitive + inductive constraints it claims to. *)
+let rule_shield_lb sol =
+  let n = Array.length sol.kth in
+  List.filter_map
+    (fun p ->
+      if
+        p.feasible
+        && Array.length p.nets >= 2
+        && Array.for_all (fun i -> i >= 0 && i < n) p.nets
+      then begin
+        let inst =
+          Eda_sino.Instance.make ~nets:p.nets
+            ~kth:(Array.map (fun i -> sol.kth.(i)) p.nets)
+            ~sensitive:sol.sensitive
+        in
+        let lb = Eda_sino.Bound.shield_lower_bound ~params:sol.keff inst in
+        if p.shields < lb then
+          Some
+            (err ~code:28 ~locus:(Diag.Region (p.region, p.dir))
+               "feasible panel has %d shields but the sensitivity clique \
+                forces at least %d (%d nets)"
+               p.shields lb (Array.length p.nets))
+        else None
+      end
+      else None)
+    sol.panels
+
 (* GSL0015: residual crosstalk violations. *)
 let rule_residual_violations sol =
   List.map
@@ -514,6 +545,7 @@ let rules =
     (16, "netlist-well-formed", rule_netlist);
     (18, "panel-degraded", rule_panel_degraded);
     (19, "deadline-degraded", rule_deadline);
+    (28, "shield-lower-bound", rule_shield_lb);
   ]
 
 let run sol = Diag.sort (List.concat_map (fun (_, _, rule) -> rule sol) rules)

@@ -43,7 +43,11 @@
       budget (or hit the deadline) and fell back to a conservative or
       best-so-far layout
     - [GSL0019 [W]] deadline expired during the run: the named phases
-      returned best-so-far results *)
+      returned best-so-far results
+    - [GSL0028 [E]] feasible SINO panel carries fewer shields than the
+      clique lower bound of {!Eda_sino.Bound} proves necessary (codes
+      0020–0023 belong to the [Eda_guard] failure classes and 0024–0027
+      to the [Eda_analyze] pre-route audit) *)
 
 (** One solved Phase-II region panel, flattened to plain data. *)
 type panel = {
@@ -76,6 +80,9 @@ type solution = {
           non-negative *)
   deadline_phases : string list;
       (** phases truncated by the run's deadline ([[]] when none) *)
+  keff : Eda_sino.Keff.params;
+      (** coupling model the run used; rule GSL0028 evaluates the clique
+          shield lower bound under it *)
 }
 
 (** The rule registry: [(code, name, rule)].  One rule owns one code;

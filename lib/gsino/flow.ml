@@ -27,6 +27,7 @@ module Config = struct
     deadline_ms : int;
     max_region_retries : int;
     on_infeasible : Eda_guard.Error.policy;
+    audit : bool;
   }
 
   let default =
@@ -40,6 +41,7 @@ module Config = struct
       deadline_ms = 0;
       max_region_retries = 2;
       on_infeasible = Eda_guard.Error.Degrade;
+      audit = false;
     }
 end
 
@@ -70,7 +72,63 @@ let m_phase_s phase = Metrics.gauge ~labels:[ ("phase", phase) ] "flow.phase_sec
 let m_route_s = m_phase_s "route"
 let m_sino_s = m_phase_s "sino"
 let m_refine_s = m_phase_s "refine"
+let m_audit_s = m_phase_s "audit"
 let m_runs = Metrics.counter "flow.runs"
+
+let analyze_config tech =
+  {
+    Eda_analyze.Analyze.keff = tech.Tech.keff;
+    lsk = Tech.lsk_model tech;
+    noise_bound_v = tech.Tech.noise_bound_v;
+    estimate = Lazy.force Estimate.default;
+  }
+
+(* Pre-route audit: if the static analyzer can prove the instance
+   infeasible, there is no point running the router.  Under [Fail] the
+   first provable finding becomes a typed Infeasible error; under
+   [Degrade] the findings are logged and the flow proceeds (the checker
+   and the SINO fallbacks will cope downstream). *)
+let audit_prepass config tech grid ~sensitivity netlist =
+  let audit, audit_s =
+    Trace.timed_span "phase:audit" (fun () ->
+        Eda_analyze.Analyze.run (analyze_config tech) ~grid ~sensitivity netlist)
+  in
+  Metrics.accum m_audit_s audit_s;
+  let module Analyze = Eda_analyze.Analyze in
+  let module Diag = Eda_check.Diag in
+  if Analyze.has_errors audit then begin
+    let errors =
+      List.filter (fun d -> d.Diag.severity = Diag.Error) audit.Analyze.findings
+    in
+    List.iter
+      (fun d ->
+        Log.warn
+          ~fields:[ ("circuit", netlist.Netlist.name) ]
+          "audit: %s" (Diag.to_line d))
+      errors;
+    match config.Config.on_infeasible with
+    | Eda_guard.Error.Fail ->
+        let region, dir =
+          List.fold_left
+            (fun acc d ->
+              if Option.is_some acc then acc
+              else
+                match d.Diag.locus with
+                | Diag.Region (r, dr) -> Some (r, Eda_grid.Dir.to_string dr)
+                | Diag.Global | Diag.Net _ -> None)
+            None errors
+          |> Option.value ~default:(0, "audit")
+        in
+        raise
+          (Eda_guard.Error.Error
+             (Eda_guard.Error.Infeasible
+                { region; dir; nets = List.length errors; retries = 0 }))
+    | Eda_guard.Error.Degrade ->
+        Log.warn
+          ~fields:[ ("circuit", netlist.Netlist.name) ]
+          "audit proved %d infeasibilities; continuing degraded (policy)"
+          (List.length errors)
+  end
 
 let route_with ?pool ?deadline router tech grid netlist shield_model =
   match router with
@@ -132,6 +190,7 @@ let run ?grid ?base config tech ~sensitivity netlist =
     deadline_ms;
     max_region_retries;
     on_infeasible;
+    audit;
   } =
     config
   in
@@ -146,6 +205,7 @@ let run ?grid ?base config tech ~sensitivity netlist =
   @@ fun () ->
   Eda_exec.with_pool ~jobs @@ fun pool ->
   let grid = match grid with Some g -> g | None -> Tech.grid_for tech netlist in
+  if audit then audit_prepass config tech grid ~sensitivity netlist;
   let lsk_model = Tech.lsk_model tech in
   let gcell_um = netlist.Netlist.gcell_um in
   let budget =
@@ -296,6 +356,7 @@ let check ?(tech = Tech.default) r =
           ("area_um2", area);
         ];
       deadline_phases = r.deadline_hits;
+      keff = tech.Tech.keff;
     }
 
 let violation_count r = List.length r.violations

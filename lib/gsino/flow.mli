@@ -64,11 +64,18 @@ module Config : sig
             [Degrade] (default) installs a conservative all-shield
             fallback and tags the panel; [Fail] raises
             [Eda_guard.Error.Error (Infeasible _)] *)
+    audit : bool;
+        (** run the {!Eda_analyze} static audit before routing (default
+            [false]).  When the audit proves the instance infeasible
+            (error-severity findings), [on_infeasible] decides: [Fail]
+            raises a typed [Infeasible] before any routing work;
+            [Degrade] logs the findings and proceeds.  Timing is recorded
+            as [flow.phase_seconds{phase="audit"}]. *)
   }
 
   (** [Gsino], iterative deletion, uniform budgeting, [jobs = 1],
       [seed = 7], [cap_quantile = 0.90], no deadline, 2 region retries,
-      [Degrade] on infeasibility. *)
+      [Degrade] on infeasibility, no audit pre-pass. *)
   val default : t
 end
 
@@ -171,6 +178,12 @@ val run_legacy :
     A healthy refined flow yields no [Error]-severity findings; the
     [gsino_lint] binary turns that into an exit code. *)
 val check : ?tech:Tech.t -> result -> Eda_check.Diag.t list
+
+(** [analyze_config tech] — the {!Eda_analyze.Analyze.config} matching a
+    flow run under [tech]: its coupling model, LSK table, noise bound and
+    the default Formula-3 coefficients.  Shared by the audit pre-pass and
+    the [gsino_audit] CLI so both judge the instance the flow will see. *)
+val analyze_config : Tech.t -> Eda_analyze.Analyze.config
 
 (** [violation_count r] / [violation_pct r] — Table 1's metrics. *)
 val violation_count : result -> int

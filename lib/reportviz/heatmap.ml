@@ -119,3 +119,42 @@ let render ?(cell_px = 14) ?(gap_px = 2) ~mode usage dir =
   let svg_h = plot_h + 10 + 14 + 4 in
   Svg.svg ~w:svg_w ~h:svg_h
     (rects @ legend ~mode ~y:legend_y ~max_shields)
+
+(* The analyzer's RUDY expected-demand map on the utilization encoding:
+   same ramp, same over-capacity status, so prediction and realization
+   read identically side by side. *)
+let render_predicted ?(cell_px = 14) ?(gap_px = 2) grid demand dir =
+  let w = Grid.width grid and h = Grid.height grid in
+  let step = cell_px + gap_px in
+  let plot_w = (w * step) - gap_px in
+  let plot_h = (h * step) - gap_px in
+  let rects =
+    List.init (Grid.num_regions grid) (fun r ->
+        let pt = Grid.region_pt grid r in
+        let cap = Grid.cap grid pt dir in
+        let d = demand.(r) in
+        let util = if cap > 0 then d /. float_of_int cap else 0.0 in
+        let over = util > 1.0 in
+        let x = float_of_int (pt.Eda_geom.Point.x * step) in
+        let y = float_of_int ((h - 1 - pt.Eda_geom.Point.y) * step) in
+        let fill, extra =
+          if over then
+            (over_fill, [ ("stroke", over_stroke); ("stroke-width", "1.5") ])
+          else (ramp_color blue_ramp util, [])
+        in
+        let tooltip =
+          Printf.sprintf
+            "(%d,%d) %s: expected demand %.1f tracks, cap %d, predicted util \
+             %.0f%%%s"
+            pt.Eda_geom.Point.x pt.Eda_geom.Point.y (Dir.to_string dir) d cap
+            (100.0 *. util)
+            (if over then " - PREDICTED OVER CAPACITY" else "")
+        in
+        Svg.rect ~x ~y ~w:(float_of_int cell_px) ~h:(float_of_int cell_px)
+          ~attrs:(("fill", fill) :: ("rx", "2") :: extra)
+          ~tooltip ())
+  in
+  let legend_y = float_of_int (plot_h + 10) in
+  Svg.svg ~w:(max plot_w 420)
+    ~h:(plot_h + 10 + 14 + 4)
+    (rects @ legend ~mode:Utilization ~y:legend_y ~max_shields:1)

@@ -21,3 +21,17 @@ val render :
   Eda_grid.Usage.t ->
   Eda_grid.Dir.t ->
   string
+
+(** [render_predicted grid demand dir] — the pre-route RUDY expected
+    demand ({!Eda_analyze.Analyze.demand}) on the utilization encoding,
+    so the report can show the analyzer's prediction side by side with
+    the realized congestion of {!render}.  [demand.(r)] is the expected
+    track demand of region [r]; cells where it exceeds capacity get the
+    same red over-capacity status. *)
+val render_predicted :
+  ?cell_px:int ->
+  ?gap_px:int ->
+  Eda_grid.Grid.t ->
+  float array ->
+  Eda_grid.Dir.t ->
+  string

@@ -113,12 +113,25 @@ let html ?(tech = Tech.default) ?(title = "GSINO run report") ~snapshot
        ~fmt:(Printf.sprintf "%.2f s")
        (List.map (fun (p, s) -> ("phase " ^ p, s)) (phase_rows r)));
 
-  (* congestion + shield heatmaps, one pair per routing direction *)
+  (* congestion + shield heatmaps, one pair per routing direction,
+     preceded by the pre-route predicted demand so prediction quality is
+     visible at a glance *)
   add "<h2>Congestion and shields</h2>\n";
+  let analysis =
+    Eda_analyze.Analyze.run (Flow.analyze_config tech) ~grid:r.Flow.grid
+      ~sensitivity:r.Flow.sensitivity r.Flow.netlist
+  in
   List.iter
     (fun dir ->
       let d = Dir.to_string dir in
       addf "<h3>%s tracks</h3>\n" (esc d);
+      addf
+        "<figure><figcaption>Predicted track demand per region (%s, pre-route \
+         RUDY); red cells predicted over capacity</figcaption>\n%s\n</figure>\n"
+        (esc d)
+        (Heatmap.render_predicted r.Flow.grid
+           (Eda_analyze.Analyze.demand analysis dir)
+           dir);
       addf
         "<figure><figcaption>Track utilization per region (%s); red cells exceed capacity</figcaption>\n%s\n</figure>\n"
         (esc d)

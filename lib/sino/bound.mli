@@ -1,0 +1,40 @@
+(** Provable lower bounds on SINO solutions.
+
+    A set of pairwise-sensitive nets (a clique in the instance's
+    sensitivity graph) constrains every feasible layout of the panel:
+
+    - capacitive crosstalk forbids two sensitive nets on adjacent
+      tracks, so the k clique members delimit k-1 non-empty gaps whose
+      tracks are shields or non-clique nets;
+    - the inductive bound K_i <= Kth_i forces a minimum width on any
+      shield-free gap, because the nearest clique neighbour alone
+      contributes k1^(d) to K_i.
+
+    Counting tracks yields a lower bound on the number of shields that
+    holds for {e every} feasible layout — independent of the heuristic
+    that produced it.  The checker compares solved panels against this
+    bound (rule GSL0028) and [Eda_analyze] applies it pre-route to
+    prospective panels; the soundness argument is spelled out in
+    DESIGN.md. *)
+
+(** [greedy_clique ?keep inst] — local indices of a maximal
+    pairwise-sensitive clique, grown greedily from each vertex in
+    degree order (a lower bound on the maximum clique; exact max clique
+    is NP-hard).  [keep] filters the candidate vertices (default: all).
+    Result is sorted; empty when no vertex qualifies. *)
+val greedy_clique : ?keep:(int -> bool) -> Instance.t -> int array
+
+(** [shield_lower_bound ?params inst] — a number of shields that every
+    layout satisfying the capacitive constraint and the K_i <= Kth_i
+    bounds must contain; 0 when nothing is forced.  Sound for any
+    feasible layout of exactly the instance's nets (panels never hold
+    more tracks than nets + shields). *)
+val shield_lower_bound : ?params:Keff.params -> Instance.t -> int
+
+(** [one_shield_threshold params] = k1^2 * shield_block — the coupling a
+    net receives from a sensitive aggressor two tracks away behind a
+    single shield.  A net whose Kth is below this cannot be rescued by
+    one shield alone; a whole clique of such nets makes the
+    conservative fully-shielded fallback layout provably infeasible
+    (diagnostic GSL0026 in [Eda_analyze]). *)
+val one_shield_threshold : Keff.params -> float

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CLI exit-code contract test for the three gsino drivers.
+# CLI exit-code contract test for the four gsino drivers.
 #
 # Exercises every failure class reachable from a command line and
 # asserts the documented exit status (see README "Failure modes &
@@ -19,6 +19,8 @@ LINT=$(realpath "$2")
 DIFF=$(realpath "$3")
 POLICY=$(realpath "$4")
 BASELINE=$(realpath "$5")
+AUDIT=$(realpath "$6")
+FIXTURE=$(realpath "$7")
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
@@ -57,6 +59,18 @@ expect_stderr() {
   done
 }
 
+# stdout of the last expect must contain every given pattern
+expect_stdout() {
+  local pat
+  for pat in "$@"; do
+    if ! grep -q "$pat" stdout.log; then
+      echo "FAIL stdout missing '$pat'"
+      sed 's/^/  stdout: /' stdout.log
+      failures=$((failures + 1))
+    fi
+  done
+}
+
 # a metric series must exist in a snapshot file
 expect_metric() {
   local file="$1" name="$2"
@@ -72,12 +86,20 @@ base=(-c ibm01 -s 0.02 --seed 7 -q)
 expect 0 "gsino_run clean" -- "$RUN" run "${base[@]}" --jobs 1 \
   --metrics clean.json
 expect 0 "gsino_lint clean" -- "$LINT" "${base[@]}"
+expect 0 "gsino_audit clean" -- "$AUDIT" "${base[@]}" --metrics audit.json
+expect_metric audit.json "analyze.runs"
+expect_metric audit.json "analyze.cut_overflows"
+expect_metric audit.json "analyze.findings"
+# the flow's pre-route audit pass is an exit-0 no-op on a healthy instance
+expect 0 "gsino_run --audit clean" -- "$RUN" run "${base[@]}" --jobs 1 --audit
 
 # ---- exit 2: usage / input errors ----
 printf 'gsino-netlist v1\nname bad\ngrid 4 4 10\nnet 0 0 0 9 9\n' >bad.nl
 expect 2 "gsino_run parse error (GSL0020)" -- "$RUN" run -q --netlist bad.nl
 expect_stderr "GSL0020" "line 4" "9 9"
 expect 2 "gsino_lint parse error (GSL0020)" -- "$LINT" -q --netlist bad.nl
+expect_stderr "GSL0020"
+expect 2 "gsino_audit parse error (GSL0020)" -- "$AUDIT" -q --netlist bad.nl
 expect_stderr "GSL0020"
 expect 2 "malformed GSINO_FAULTS spec" -- \
   env GSINO_FAULTS="bogus" "$RUN" run "${base[@]}"
@@ -127,6 +149,11 @@ expect 0 "deadline run degrades (within 2x wall budget)" -- \
 expect_metric deadline.json "guard.deadline_hits"
 
 # ---- exit 1: findings / regression breach ----
+# provably infeasible fixture: over-capacity cuts (GSL0024) and Kth
+# bounds unmeetable even fully shielded (GSL0026), proven before routing
+expect 1 "gsino_audit infeasible fixture" -- \
+  "$AUDIT" --netlist "$FIXTURE" --rate 1.0 --hcap 6 --vcap 6 -q
+expect_stdout "GSL0024" "GSL0026"
 expect 0 "gsino_diff identical snapshots" -- "$DIFF" clean.json clean.json
 expect 1 "gsino_diff policy breach" -- \
   "$DIFF" --policy "$POLICY" "$BASELINE" deadline.json

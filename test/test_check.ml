@@ -136,6 +136,7 @@ let base () =
     bound_v = 0.15;
     metrics = [ ("total_wl_um", 300.0) ];
     deadline_phases = [];
+    keff = Eda_sino.Keff.default;
   }
 
 let codes sol = List.map (fun d -> d.Diag.code) (Checker.run sol)
@@ -150,8 +151,8 @@ let test_clean_fixture () =
   Alcotest.(check (list int)) "no findings" [] (codes (base ()))
 
 let test_rule_codes_unique () =
-  Alcotest.(check (list int)) "codes 1..16 + 18..19, one rule each"
-    (List.init 16 (fun i -> i + 1) @ [ 18; 19 ])
+  Alcotest.(check (list int)) "codes 1..16 + 18..19 + 28, one rule each"
+    (List.init 16 (fun i -> i + 1) @ [ 18; 19; 28 ])
     (List.sort compare (List.map (fun (c, _, _) -> c) Checker.rules))
 
 let test_gsl0001_off_grid_route () =
@@ -316,6 +317,30 @@ let test_gsl0018_degraded_panel () =
     (List.exists (fun d -> d.Diag.code = 18) diags);
   Alcotest.(check bool) "degradation is a warning" false (Diag.has_errors diags)
 
+let test_gsl0028_shield_lower_bound () =
+  (* both nets in one feasible panel, mutually sensitive: the clique
+     forces a shield between them, so claiming 0 shields is an error *)
+  let corrupt shields =
+    let sol = base () in
+    let p =
+      match sol.Checker.panels with p :: _ -> p | [] -> assert false
+    in
+    {
+      sol with
+      Checker.sensitive = (fun i j -> i <> j);
+      panels = [ { p with Checker.nets = [| 0; 1 |]; shields } ];
+    }
+  in
+  let diags = Checker.run (corrupt 0) in
+  Alcotest.(check bool) "GSL0028 fires" true
+    (List.exists (fun d -> d.Diag.code = 28) diags);
+  Alcotest.(check bool) "shield shortfall is an error" true
+    (Diag.has_errors
+       (List.filter (fun d -> d.Diag.code = 28) diags));
+  let ok = Checker.run (corrupt 1) in
+  Alcotest.(check bool) "satisfied bound is silent" false
+    (List.exists (fun d -> d.Diag.code = 28) ok)
+
 let test_gsl0019_deadline () =
   let diags =
     Checker.run { (base ()) with Checker.deadline_phases = [ "route"; "sino" ] }
@@ -460,6 +485,8 @@ let suites =
         Alcotest.test_case "GSL0018 degraded panel" `Quick
           test_gsl0018_degraded_panel;
         Alcotest.test_case "GSL0019 deadline" `Quick test_gsl0019_deadline;
+        Alcotest.test_case "GSL0028 shield lower bound" `Quick
+          test_gsl0028_shield_lower_bound;
       ] );
     ( "check.flow",
       [

@@ -13,6 +13,7 @@ let () =
          Test_lsk.suites;
          Test_gsino.suites;
          Test_check.suites;
+         Test_analyze.suites;
          Test_guard.suites;
          Test_extensions.suites;
          Test_refine.suites;

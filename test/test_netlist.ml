@@ -105,6 +105,21 @@ let test_segment_sensitivity () =
   Alcotest.(check (float 1e-9)) "none sensitive" 0.0
     (Sensitivity.segment_sensitivity s0 ~net:0 ~neighbours:[| 0; 1; 2 |])
 
+let test_segment_sensitivity_edge_cases () =
+  let s = Sensitivity.make ~seed:3 ~rate:1.0 in
+  (* empty region: no neighbours at all, not even the net itself *)
+  Alcotest.(check (float 1e-9)) "empty region" 0.0
+    (Sensitivity.segment_sensitivity s ~net:0 ~neighbours:[||]);
+  (* the net need not appear in [neighbours]; every entry then counts *)
+  Alcotest.(check (float 1e-9)) "net absent from region" 1.0
+    (Sensitivity.segment_sensitivity s ~net:9 ~neighbours:[| 1; 2 |]);
+  (* duplicate self entries never count as neighbours *)
+  Alcotest.(check (float 1e-9)) "only self entries" 0.0
+    (Sensitivity.segment_sensitivity s ~net:4 ~neighbours:[| 4; 4; 4 |]);
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Sensitivity.make: bad rate") (fun () ->
+      ignore (Sensitivity.make ~seed:0 ~rate:(-0.1)))
+
 let test_generator_profiles () =
   Alcotest.(check int) "six circuits" 6 (List.length Generator.all_ibm);
   Alcotest.(check bool) "lookup" true (Generator.find_ibm "ibm03" = Some Generator.ibm03);
@@ -221,6 +236,8 @@ let suites =
         Alcotest.test_case "empirical rate" `Quick test_sensitivity_rate_empirical;
         Alcotest.test_case "bad rate" `Quick test_sensitivity_bad_rate;
         Alcotest.test_case "segment sensitivity" `Quick test_segment_sensitivity;
+        Alcotest.test_case "segment sensitivity edge cases" `Quick
+          test_segment_sensitivity_edge_cases;
       ] );
     ( "netlist.generator",
       [
