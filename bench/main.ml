@@ -474,6 +474,34 @@ let () =
     | Some f -> f
     | None -> "BENCH_METRICS.json"
   in
-  Metrics.write_json metrics_file (Metrics.snapshot ());
+  let snapshot = Metrics.snapshot () in
+  Metrics.write_json metrics_file snapshot;
   Format.printf "metrics blob: %s@." metrics_file;
+  (* trajectory across commits: the same snapshot, appended as one JSONL
+     record per bench run; summarize with `gsino_diff --history` *)
+  let history_file =
+    match Sys.getenv_opt "GSINO_BENCH_HISTORY" with
+    | Some f -> f
+    | None -> "BENCH_HISTORY.jsonl"
+  in
+  if history_file <> "" then begin
+    let module Json = Eda_obs.Json in
+    let record =
+      Json.Obj
+        [
+          ("schema", Json.Str "gsino-bench-history-v1");
+          ("ts", Json.Int (int_of_float (Unix.time ())));
+          ("scale", Json.Float scale);
+          ("seed", Json.Int seed);
+          ("circuits", Json.Int (List.length profiles));
+          ("snapshot", Metrics.to_json snapshot);
+        ]
+    in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 history_file in
+    output_string oc (Json.to_string record);
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "history: appended to %s (disable: GSINO_BENCH_HISTORY=)@."
+      history_file
+  end;
   Format.printf "@.done.@."

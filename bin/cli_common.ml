@@ -118,6 +118,25 @@ let trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let profile_arg =
+  let doc =
+    "Fold the recorded spans into a per-span self-time profile \
+     (gsino-profile-v1 JSON: calls, total, self, p95, max per span name) \
+     and write it to $(docv) on exit.  Implies span recording even \
+     without $(b,--trace).  '-' prints the human-readable top-10 table to \
+     stdout instead and silences the normal output.  The profile is also \
+     exported as $(b,prof.*) gauges in the $(b,--metrics) artifact."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let progress_arg =
+  let doc =
+    "Emit a live progress heartbeat on stderr (at most one line per \
+     second): current flow phase, items done, elapsed time and — when \
+     $(b,--deadline) is set — remaining budget."
+  in
+  Arg.(value & flag & info [ "progress" ] ~doc)
+
 let metrics_arg =
   let doc =
     "Write the metrics registry (gsino-metrics-v1 JSON: per-phase counters, \
@@ -228,18 +247,35 @@ let write_metrics = function
         (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
   | Some file -> Metrics.write_json file (Metrics.snapshot ())
 
-(* Apply -v/-q, configure fault injection, enable tracing when
-   requested, run [f] inside the {!guard_exceptions} funnel, then flush
-   the trace/metrics artifacts even if [f] raises or exits — so a
-   fault-injected or deadline-killed run still leaves its observability
-   artifacts behind ([pretty] switches diagnostics to the human-readable
-   renderer). *)
-let with_obs ?(pretty = false) ?(prog = "gsino") ~trace ~metrics ~verbose
-    ~quiet f =
+let write_profile = function
+  | None -> ()
+  | Some sink ->
+      let rows = Eda_obs.Prof.current () in
+      (* publish prof.* gauges before write_metrics snapshots, so the
+         metrics artifact carries the profile series too *)
+      Eda_obs.Prof.export_metrics rows;
+      (match sink with
+      | "-" -> print_string (Eda_obs.Prof.to_text rows)
+      | file -> Eda_obs.Prof.write_json file rows)
+
+(* Apply -v/-q, configure fault injection, enable tracing (--trace, or
+   --profile which needs the same spans) and the --progress heartbeat
+   when requested, run [f] inside the {!guard_exceptions} funnel, then
+   flush the trace/profile/metrics artifacts even if [f] raises or exits
+   — so a fault-injected or deadline-killed run still leaves its
+   observability artifacts behind ([pretty] switches diagnostics to the
+   human-readable renderer).  Flush order matters: the profile folds the
+   trace ring and publishes prof.* gauges, so it runs after the trace
+   export and before the metrics snapshot. *)
+let with_obs ?(pretty = false) ?(prog = "gsino") ?(profile = None)
+    ?(progress = false) ~trace ~metrics ~verbose ~quiet f =
   if quiet then Log.set_level Log.Quiet
   else if verbose then Log.set_level (Log.Level Log.Debug);
   init_faults ~prog ();
-  (match trace with Some _ -> Trace.enable () | None -> ());
+  (match (trace, profile) with
+  | Some _, _ | _, Some _ -> Trace.enable ()
+  | None, None -> ());
+  if progress then Eda_obs.Progress.enable ();
   (* idempotent and registered with at_exit: report_error leaves through
      Stdlib.exit, which does not unwind Fun.protect, yet a failed run
      must still drop its artifacts for triage *)
@@ -247,7 +283,9 @@ let with_obs ?(pretty = false) ?(prog = "gsino") ~trace ~metrics ~verbose
   let finish () =
     if not !flushed then begin
       flushed := true;
+      Eda_obs.Progress.disable ();
       write_trace trace;
+      write_profile profile;
       write_metrics metrics
     end
   in

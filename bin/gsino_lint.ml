@@ -46,10 +46,12 @@ let errors_only_arg =
   Arg.(value & flag & info [ "e"; "errors-only" ] ~doc)
 
 let lint circuit scale seed rate router budgeting jobs deadline netlist_file
-    kinds pretty max_print errors_only trace metrics verbose quiet =
-  let claimed = C.claim_stdout ~prog:"gsino_lint" [ trace; metrics ] in
+    kinds pretty max_print errors_only trace profile progress metrics verbose
+    quiet =
+  let claimed = C.claim_stdout ~prog:"gsino_lint" [ trace; profile; metrics ] in
   let out = C.out_formatter ~claimed in
-  C.with_obs ~pretty ~prog:"gsino_lint" ~trace ~metrics ~verbose ~quiet
+  C.with_obs ~pretty ~prog:"gsino_lint" ~profile ~progress ~trace ~metrics
+    ~verbose ~quiet
   @@ fun () ->
   let tech = Tech.default in
   let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
@@ -111,7 +113,7 @@ let cmd =
       const lint $ C.circuit_arg $ C.scale_arg ~default:0.02 () $ C.seed_arg
       $ C.rate_arg $ C.router_arg $ C.budgeting_arg $ C.jobs_arg
       $ C.deadline_arg $ netlist_file_arg $ kind_arg $ pretty_arg
-      $ max_print_arg $ errors_only_arg $ C.trace_arg $ C.metrics_arg
-      $ C.verbose_arg $ C.quiet_arg)
+      $ max_print_arg $ errors_only_arg $ C.trace_arg $ C.profile_arg
+      $ C.progress_arg $ C.metrics_arg $ C.verbose_arg $ C.quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

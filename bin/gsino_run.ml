@@ -21,10 +21,14 @@ let netlist_file_arg =
 
 let run_cmd =
   let run circuit scale seed rate router budgeting jobs deadline audit
-      netlist_file trace metrics report verbose quiet =
-    let claimed = C.claim_stdout ~prog:"gsino_run" [ trace; metrics; report ] in
+      netlist_file trace profile progress metrics report verbose quiet =
+    let claimed =
+      C.claim_stdout ~prog:"gsino_run" [ trace; profile; metrics; report ]
+    in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~prog:"gsino_run" ~trace ~metrics ~verbose ~quiet @@ fun () ->
+    C.with_obs ~prog:"gsino_run" ~profile ~progress ~trace ~metrics ~verbose
+      ~quiet
+    @@ fun () ->
     let tech = Tech.default in
     let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
     Format.fprintf out "%a@." Eda_netlist.Netlist.pp_summary netlist;
@@ -94,8 +98,9 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
           $ C.router_arg $ C.budgeting_arg $ C.jobs_arg $ C.deadline_arg
-          $ C.audit_arg $ netlist_file_arg $ C.trace_arg $ C.metrics_arg
-          $ C.report_arg $ C.verbose_arg $ C.quiet_arg)
+          $ C.audit_arg $ netlist_file_arg $ C.trace_arg $ C.profile_arg
+          $ C.progress_arg $ C.metrics_arg $ C.report_arg $ C.verbose_arg
+          $ C.quiet_arg)
 
 let map_cmd =
   let run circuit scale seed rate jobs netlist_file =
@@ -136,10 +141,15 @@ let gen_cmd =
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ out_arg)
 
 let suite_cmd =
-  let run scale seed jobs circuits trace metrics verbose quiet =
-    let claimed = C.claim_stdout ~prog:"gsino_run" [ trace; metrics ] in
+  let run scale seed jobs circuits trace profile progress metrics verbose quiet
+      =
+    let claimed =
+      C.claim_stdout ~prog:"gsino_run" [ trace; profile; metrics ]
+    in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~prog:"gsino_run" ~trace ~metrics ~verbose ~quiet @@ fun () ->
+    C.with_obs ~prog:"gsino_run" ~profile ~progress ~trace ~metrics ~verbose
+      ~quiet
+    @@ fun () ->
     let profiles =
       match circuits with
       | [] -> Eda_netlist.Generator.all_ibm
@@ -158,7 +168,8 @@ let suite_cmd =
   let doc = "Reproduce the paper's Tables 1-3 (both sensitivity rates)." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(const run $ C.scale_arg () $ C.seed_arg $ C.jobs_arg $ circuits_arg
-          $ C.trace_arg $ C.metrics_arg $ C.verbose_arg $ C.quiet_arg)
+          $ C.trace_arg $ C.profile_arg $ C.progress_arg $ C.metrics_arg
+          $ C.verbose_arg $ C.quiet_arg)
 
 let table_cmd =
   let run () =

@@ -12,6 +12,7 @@ module Estimate = Eda_sino.Estimate
 module Lsk = Eda_lsk.Lsk
 module Diag = Eda_check.Diag
 module Metrics = Eda_obs.Metrics
+module Trace = Eda_obs.Trace
 
 type config = {
   keff : Keff.params;
@@ -415,12 +416,13 @@ let shield_lb_total t =
   List.fold_left (fun acc p -> acc + p.shield_lb) 0 t.panels
 
 let run config ~grid ~sensitivity netlist =
+  Trace.span "analyze.run" @@ fun () ->
   Metrics.incr m_runs;
-  let demand_h = demand_map grid netlist Dir.H in
-  let demand_v = demand_map grid netlist Dir.V in
-  let cuts = cuts_of grid netlist in
-  let graph = graph_of sensitivity netlist in
-  let lsk_budget, kth = budget_of config netlist in
+  let demand_h = Trace.span "analyze.demand" (fun () -> demand_map grid netlist Dir.H) in
+  let demand_v = Trace.span "analyze.demand" (fun () -> demand_map grid netlist Dir.V) in
+  let cuts = Trace.span "analyze.cuts" (fun () -> cuts_of grid netlist) in
+  let graph = Trace.span "analyze.graph" (fun () -> graph_of sensitivity netlist) in
+  let lsk_budget, kth = Trace.span "analyze.budget" (fun () -> budget_of config netlist) in
   let sens = Sensitivity.sensitive sensitivity in
   let budget_findings =
     if Array.length kth > 0 then
@@ -443,7 +445,9 @@ let run config ~grid ~sensitivity netlist =
   in
   let panels =
     if Array.length kth = 0 then []
-    else panels_of config grid netlist sensitivity kth
+    else
+      Trace.span "analyze.panels" (fun () ->
+          panels_of config grid netlist sensitivity kth)
   in
   let findings =
     Diag.sort

@@ -16,6 +16,9 @@ type job = {
   mutable failed : (int * exn * Printexc.raw_backtrace) option;
   mutable remaining : int;  (** workers yet to finish this section *)
   mutable shards : (int * Metrics.snapshot) list;
+  busy_ns : int64 array;
+      (** per-slot busy time this section; each slot is written only by
+          its own domain, read by the coordinator after the barrier *)
 }
 
 type t = {
@@ -38,9 +41,25 @@ let jobs t = t.n_jobs
 let m_sections = lazy (Metrics.counter "exec.sections")
 let m_section_items = lazy (Metrics.histogram "exec.section_items")
 
+(* max busy / mean busy across the slots of one section: 1.0 is a
+   perfectly balanced section, large values mean one domain dragged *)
+let m_imbalance = lazy (Metrics.histogram "exec.imbalance")
+
+type dctrs = {
+  chunks : Metrics.counter;
+  items : Metrics.counter;
+  steals : Metrics.counter;  (** chunks beyond the domain's first per section *)
+  busy : Metrics.counter;  (** exec.domain_busy_ns *)
+}
+
 let domain_counters slot =
   let labels = [ ("domain", string_of_int slot) ] in
-  (Metrics.counter ~labels "exec.chunks", Metrics.counter ~labels "exec.items")
+  {
+    chunks = Metrics.counter ~labels "exec.chunks";
+    items = Metrics.counter ~labels "exec.items";
+    steals = Metrics.counter ~labels "exec.steals";
+    busy = Metrics.counter ~labels "exec.domain_busy_ns";
+  }
 
 let record_failure pool job start e bt =
   Mutex.lock pool.mu;
@@ -51,15 +70,19 @@ let record_failure pool job start e bt =
   (* stop handing out work; in-flight chunks still finish *)
   Atomic.set job.cursor job.hi
 
-let steal pool job ~chunks ~items =
+let steal pool job ~slot ~ctrs =
+  let t0 = Eda_obs.Clock.now_ns () in
+  let taken = ref 0 in
   let continue_ = ref true in
   while !continue_ do
     let start = Atomic.fetch_and_add job.cursor job.chunk in
     if start >= job.hi then continue_ := false
     else begin
       let stop = min job.hi (start + job.chunk) in
-      Metrics.incr chunks;
-      Metrics.add items (stop - start);
+      incr taken;
+      Metrics.incr ctrs.chunks;
+      if !taken > 1 then Metrics.incr ctrs.steals;
+      Metrics.add ctrs.items (stop - start);
       try
         (* fault site: an injected crash here exercises the same drain +
            typed-reraise path as a real worker failure *)
@@ -69,10 +92,13 @@ let steal pool job ~chunks ~items =
         done
       with e -> record_failure pool job start e (Printexc.get_raw_backtrace ())
     end
-  done
+  done;
+  let busy = Int64.sub (Eda_obs.Clock.now_ns ()) t0 in
+  job.busy_ns.(slot) <- busy;
+  Metrics.add ctrs.busy (Int64.to_int busy)
 
 let worker pool slot () =
-  let chunks, items = domain_counters slot in
+  let ctrs = domain_counters slot in
   let seen = ref 0 in
   let running = ref true in
   while !running do
@@ -88,7 +114,7 @@ let worker pool slot () =
       seen := pool.generation;
       let job = Option.get pool.job in
       Mutex.unlock pool.mu;
-      steal pool job ~chunks ~items;
+      steal pool job ~slot ~ctrs;
       (* ship this domain's metric deltas for the ordered merge *)
       let shard = Metrics.snapshot () in
       Metrics.reset ();
@@ -170,16 +196,17 @@ let run_range pool ?chunk n body =
         failed = None;
         remaining = pool.n_jobs - 1;
         shards = [];
+        busy_ns = Array.make pool.n_jobs 0L;
       }
     in
-    let chunks, items = domain_counters 0 in
+    let ctrs = domain_counters 0 in
     Mutex.lock pool.mu;
     pool.job <- Some job;
     pool.generation <- pool.generation + 1;
     Condition.broadcast pool.work;
     Mutex.unlock pool.mu;
     (* the coordinator is domain slot 0 and steals like everyone else *)
-    steal pool job ~chunks ~items;
+    steal pool job ~slot:0 ~ctrs;
     Mutex.lock pool.mu;
     while job.remaining > 0 do
       Condition.wait pool.idle pool.mu
@@ -190,6 +217,12 @@ let run_range pool ?chunk n body =
        not completion order *)
     List.sort (fun (a, _) (b, _) -> compare a b) job.shards
     |> List.iter (fun (_, shard) -> Metrics.absorb shard);
+    (let sum =
+       Array.fold_left (fun s b -> s +. Int64.to_float b) 0.0 job.busy_ns
+     in
+     let mx = Array.fold_left (fun m b -> Float.max m (Int64.to_float b)) 0.0 job.busy_ns in
+     let mean = sum /. float_of_int pool.n_jobs in
+     if mean > 0.0 then Metrics.observe (Lazy.force m_imbalance) (mx /. mean));
     match job.failed with
     | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ()

@@ -29,11 +29,17 @@
     usable afterwards.
 
     Instrumentation (parallel sections only): an [exec.parallel] trace
-    span with [items]/[jobs]/[chunk] args on the coordinator, the
-    [exec.sections] counter and [exec.section_items] histogram, and
-    per-domain [exec.chunks]/[exec.items] counters labeled
+    span with [items]/[jobs]/[chunk] args on the coordinator; the
+    [exec.sections] counter, [exec.section_items] histogram, and
+    [exec.imbalance] histogram (max busy / mean busy across a section's
+    domains — 1.0 is perfect balance); and per-domain counters labeled
     [("domain", "<slot>")] (slot 0 is the coordinator, which also
-    steals). *)
+    steals): [exec.chunks], [exec.items], [exec.steals] (chunks taken
+    beyond the domain's first in a section) and [exec.domain_busy_ns]
+    (monotonic-clock time spent inside the steal loop).  The per-domain
+    series necessarily vary with [jobs] and with scheduling, so the CI
+    determinism gate and the bench regression policy exclude the
+    [exec.] prefix. *)
 
 type t
 (** A pool of [jobs - 1] persistent worker domains (plus the calling

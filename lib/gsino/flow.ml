@@ -7,6 +7,21 @@ module Estimate = Eda_sino.Estimate
 module Metrics = Eda_obs.Metrics
 module Trace = Eda_obs.Trace
 module Log = Eda_obs.Log
+module Gcstat = Eda_obs.Gcstat
+module Progress = Eda_obs.Progress
+
+(* Every timed flow phase goes through this: one span for the profiler,
+   one cumulative flow.phase_seconds sample, one gc.* delta set, one
+   progress heartbeat at entry.  Keeping the four probes in a single
+   combinator keeps the phase list in [run] readable and guarantees no
+   phase is missing a probe. *)
+let timed_phase name f =
+  Progress.phase name;
+  let v, s =
+    Trace.timed_span ("phase:" ^ name) (fun () -> Gcstat.phase name f)
+  in
+  Metrics.accum (Metrics.gauge ~labels:[ ("phase", name) ] "flow.phase_seconds") s;
+  (v, s)
 
 type kind = Id_no | Isino | Gsino
 
@@ -66,13 +81,9 @@ type result = {
   deadline_hits : string list;
 }
 
-(* cumulative wall-clock per phase across every run of the process, so a
-   suite/bench sees one per-phase total in the metrics snapshot *)
-let m_phase_s phase = Metrics.gauge ~labels:[ ("phase", phase) ] "flow.phase_seconds"
-let m_route_s = m_phase_s "route"
-let m_sino_s = m_phase_s "sino"
-let m_refine_s = m_phase_s "refine"
-let m_audit_s = m_phase_s "audit"
+(* flow.phase_seconds (inside timed_phase) is cumulative wall-clock per
+   phase across every run of the process, so a suite/bench sees one
+   per-phase total in the metrics snapshot *)
 let m_runs = Metrics.counter "flow.runs"
 
 let analyze_config tech =
@@ -89,11 +100,10 @@ let analyze_config tech =
    [Degrade] the findings are logged and the flow proceeds (the checker
    and the SINO fallbacks will cope downstream). *)
 let audit_prepass config tech grid ~sensitivity netlist =
-  let audit, audit_s =
-    Trace.timed_span "phase:audit" (fun () ->
+  let audit, _audit_s =
+    timed_phase "audit" (fun () ->
         Eda_analyze.Analyze.run (analyze_config tech) ~grid ~sensitivity netlist)
   in
-  Metrics.accum m_audit_s audit_s;
   let module Analyze = Eda_analyze.Analyze in
   let module Diag = Eda_check.Diag in
   if Analyze.has_errors audit then begin
@@ -195,6 +205,7 @@ let run ?grid ?base config tech ~sensitivity netlist =
     config
   in
   let deadline = Eda_guard.Deadline.start ~budget_ms:deadline_ms in
+  Progress.set_deadline (fun () -> Eda_guard.Deadline.remaining_ms deadline);
   Metrics.incr m_runs;
   Trace.span_args "flow:run"
     [
@@ -217,10 +228,10 @@ let run ?grid ?base config tech ~sensitivity netlist =
         match base with
         | Some r -> (r, 0.0)
         | None ->
-            Trace.timed_span "phase:route" (fun () ->
+            timed_phase "route" (fun () ->
                 base_routes ~router ~pool ~deadline tech grid netlist))
     | Gsino ->
-        Trace.timed_span "phase:route" (fun () ->
+        timed_phase "route" (fun () ->
             route_with ~pool ~deadline router tech grid netlist
               (Id_router.Per_net
                  {
@@ -229,7 +240,6 @@ let run ?grid ?base config tech ~sensitivity netlist =
                    kth = Budget.kth budget;
                  }))
   in
-  Metrics.accum m_route_s route_s;
   (* route-aware budgeting re-partitions the bounds from the realized
      path lengths now that the routes exist (Phase I's router weight
      already used the uniform budget above) *)
@@ -244,12 +254,11 @@ let run ?grid ?base config tech ~sensitivity netlist =
     match kind with Id_no -> Phase2.Order_only | Isino | Gsino -> Phase2.Min_area
   in
   let phase2, sino_s =
-    Trace.timed_span "phase:sino" (fun () ->
+    timed_phase "sino" (fun () ->
         Phase2.solve ~grid ~netlist ~routes ~kth:(Budget.kth budget) ~sensitivity
           ~keff:tech.Tech.keff ~mode ~seed ~deadline
           ~retries:max_region_retries ~on_infeasible ~pool ())
   in
-  Metrics.accum m_sino_s sino_s;
   let usage = Usage.of_routes grid ~gcell_um (Array.to_list routes) in
   Phase2.apply_shields usage phase2;
   let refine_stats, refine_s =
@@ -257,14 +266,13 @@ let run ?grid ?base config tech ~sensitivity netlist =
     | Id_no -> (None, 0.0)
     | Isino | Gsino ->
         let stats, s =
-          Trace.timed_span "phase:refine" (fun () ->
+          timed_phase "refine" (fun () ->
               Refine.run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
                 ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d)
                 ~deadline ~pool ())
         in
         (Some stats, s)
   in
-  Metrics.accum m_refine_s refine_s;
   Log.debug
     ~fields:[ ("kind", kind_name kind); ("circuit", netlist.Netlist.name) ]
     "flow phases done: route %.2fs, sino %.2fs, refine %.2fs" route_s sino_s

@@ -345,6 +345,7 @@ let route ~grid ~netlist ?(weights = default_weights)
     states;
   let mark = Array.make n_regions 0 in
   let stamp = ref 0 in
+  let iters = ref 0 in
   (* checkpoint: every pop leaves all nets connected (deletion is the
      only mutation and is connectivity-checked), so stopping mid-heap
      yields valid, merely less-deleted trees; prune_tree below still
@@ -354,6 +355,10 @@ let route ~grid ~netlist ?(weights = default_weights)
     && not (Eda_guard.Deadline.check deadline ~phase:"route")
   do
     Metrics.incr m_iterations;
+    incr iters;
+    (* total is unknowable up front (reweighed edges re-enter the heap),
+       so the heartbeat reports a bare iteration count *)
+    Eda_obs.Progress.tick ~items_done:!iters ();
     let w_old, (i, e) = Heap.pop_max heap in
     match states.(i) with
     | None -> ()

@@ -180,6 +180,17 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
     Metrics.add m_shields (Layout.num_shields layout);
     soln_of_layout ~keff ~degraded inst layout
   in
+  (* all domains bump the shared done-counter; only the coordinator's
+     ticks reach the heartbeat (Progress is single-writer), so the line
+     reflects total panels finished, not just its own *)
+  let done_ = Atomic.make 0 in
+  let solve_panel p =
+    let s = solve_panel p in
+    Atomic.incr done_;
+    Eda_obs.Progress.tick ~items_total:(Array.length panels)
+      ~items_done:(Atomic.get done_) ();
+    s
+  in
   let solns = Eda_exec.map_array ?pool solve_panel panels in
   let table = Hashtbl.create (Array.length panels) in
   Array.iteri (fun i soln -> Hashtbl.replace table (fst panels.(i)) soln) solns;

@@ -54,6 +54,7 @@ let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
     ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
   let gcell_um = Usage.gcell_um usage in
   let fixes = ref 0 and resolves = ref 0 in
+  let rounds = ref 0 in
   let given_up : (int, unit) Hashtbl.t = Hashtbl.create 8 in
   let continue_outer = ref true in
   (* checkpoint: each round rip-ups exactly one net and re-solves its
@@ -62,6 +63,8 @@ let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
   while !continue_outer && not (Eda_guard.Deadline.check deadline ~phase:"refine")
   do
     Metrics.incr m_ripup_rounds;
+    incr rounds;
+    Eda_obs.Progress.tick ~items_done:!rounds ();
     (* the full-netlist violation scan each round is the expensive part
        of this pass; it is read-only, so it fans out over the pool while
        the tighten-and-resolve below stays sequential *)

@@ -9,11 +9,11 @@ type t = state option
 
 let none = None
 
-(* Unix.gettimeofday is the only wall clock the baked-in toolchain exposes
-   portably; budgets are coarse (>= milliseconds) and checkpoints are
-   cooperative, so a rare clock step only shifts where degradation kicks
-   in, never correctness. *)
-let now = Unix.gettimeofday
+(* The monotonic clock: an NTP step through a wall-clock deadline would
+   either fire the budget instantly (step forward) or extend it without
+   bound (step back).  CLOCK_MONOTONIC cannot step, so a budget always
+   measures real elapsed runtime. *)
+let now = Eda_obs.Clock.now_s
 
 let start ~budget_ms =
   if budget_ms <= 0 then None
@@ -28,6 +28,11 @@ let start ~budget_ms =
 
 let budget_ms = function None -> 0 | Some s -> s.budget_ms
 let expired = function None -> false | Some s -> now () >= s.until
+
+let remaining_ms = function
+  | None -> None
+  | Some s ->
+      Some (max 0 (int_of_float (Float.ceil ((s.until -. now ()) *. 1000.0))))
 
 let mark t ~phase =
   match t with

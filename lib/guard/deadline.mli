@@ -31,6 +31,10 @@ val budget_ms : t -> int
 (** Has the budget been exhausted?  Cheap enough for inner loops. *)
 val expired : t -> bool
 
+(** Milliseconds of budget left (clamped at 0); [None] for {!none}.
+    Feeds the [--progress] heartbeat's "deadline left" column. *)
+val remaining_ms : t -> int option
+
 (** [mark t ~phase] — record that [phase] was truncated (idempotent per
     phase; bumps [guard.deadline_hits{phase}] on first mark). *)
 val mark : t -> phase:string -> unit

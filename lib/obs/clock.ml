@@ -1,0 +1,5 @@
+external now_ns : unit -> int64 = "gsino_clock_monotonic_ns"
+
+let now_s () = Int64.to_float (now_ns ()) /. 1e9
+
+let elapsed_s t0 = now_s () -. t0

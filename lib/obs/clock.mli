@@ -1,0 +1,21 @@
+(** Monotonic time source shared by the observability and guard layers.
+
+    Wall clocks ([Unix.gettimeofday]) are stepped by NTP and manual
+    adjustment, which can make an interval measured across a step
+    negative or wildly long.  Every duration this codebase reports or
+    acts on — [flow.phase_seconds], {!Eda_guard.Deadline} budgets, the
+    {!Trace} timebase, [exec.domain_busy_ns] — therefore reads this
+    clock instead: [CLOCK_MONOTONIC] via a C stub, falling back to
+    [gettimeofday] only on platforms without one.
+
+    The epoch is arbitrary (typically boot time): only differences of
+    two readings are meaningful. *)
+
+(** Nanoseconds from an arbitrary fixed origin; never decreases. *)
+val now_ns : unit -> int64
+
+(** {!now_ns} in seconds, as a float ([now_ns / 1e9]). *)
+val now_s : unit -> float
+
+(** [elapsed_s t0] — seconds since the reading [t0] (from {!now_s}). *)
+val elapsed_s : float -> float

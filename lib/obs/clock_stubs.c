@@ -1,0 +1,26 @@
+/* Monotonic clock for the observability layer.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and manual clock changes, so
+ * durations derived from it (flow.phase_seconds, deadlines, the trace
+ * timebase, exec.domain_busy_ns) cannot go negative or jump.  Falls back
+ * to gettimeofday only where no monotonic source exists. */
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value gsino_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_int64((int64_t)tv.tv_sec * 1000000000 +
+                           (int64_t)tv.tv_usec * 1000);
+  }
+}

@@ -54,11 +54,21 @@ type tolerance = {
   direction : direction;
 }
 
-type policy = { tolerances : tolerance list }
+(** [exclude] is a list of series-name {e prefixes} (e.g. ["prof."],
+    ["gc."], ["exec."]) whose series are volatile by nature — wall-clock
+    profiles, GC deltas, pool scheduling — and are dropped from both the
+    rendered diff and the gate. *)
+type policy = { tolerances : tolerance list; exclude : string list }
 
-(** [gsino-diff-policy-v1]: [{"schema": ..., "tolerances": [{"metric",
-    "max_abs"?, "max_rel"?, "direction"?}]}]; direction is
-    "up" (default) | "down" | "both". *)
+(** Does the policy's exclude list cover this series name? *)
+val excluded : policy -> string -> bool
+
+(** Drop the entries whose name matches an [exclude] prefix. *)
+val apply_exclude : policy -> entry list -> entry list
+
+(** [gsino-diff-policy-v1]: [{"schema": ..., "exclude"?: [prefix, ...],
+    "tolerances": [{"metric", "max_abs"?, "max_rel"?, "direction"?}]}];
+    direction is "up" (default) | "down" | "both". *)
 val policy_of_json : Json.t -> (policy, string) result
 
 val load_policy : string -> (policy, string) result
@@ -81,3 +91,40 @@ val series_name : string -> Metrics.labels -> string
 val pp_entry : Format.formatter -> entry -> unit
 
 val pp_breach : Format.formatter -> breach -> unit
+
+(** {1 Bench history}
+
+    The bench harness appends one JSON object per run to
+    [BENCH_HISTORY.jsonl] — [{"schema": "gsino-bench-history-v1", "ts":
+    epoch_seconds, ..., "snapshot": <gsino-metrics-v1>}] — so metric
+    trajectories survive across commits.  [gsino_diff --history] loads
+    the file and prints one trend row per metric name. *)
+module History : sig
+  type entry = {
+    ts : float;  (** epoch seconds the snapshot was taken *)
+    meta : (string * string) list;
+        (** the entry's other top-level scalars (scale, seed, ...) *)
+    snapshot : Metrics.snapshot;
+  }
+
+  (** [load path] — parse a JSONL history file, oldest first; blank
+      lines are skipped, a malformed line fails with its line number. *)
+  val load : string -> (entry list, string) result
+
+  type trend = {
+    name : string;
+    n : int;  (** snapshots the series appears in *)
+    first : float;
+    last : float;
+    lo : float;
+    hi : float;
+  }
+
+  (** Per-name trajectory across the entries (chronological order).
+      Each snapshot contributes one scalar per name: the sum of the
+      series' scalar summaries across label sets. *)
+  val trends : entry list -> trend list
+
+  (** Fixed-width trend row: name, n, first, last, rel drift, min, max. *)
+  val pp_trend : Format.formatter -> trend -> unit
+end

@@ -1,0 +1,33 @@
+(* Instruments are registered lazily per phase name: a process that
+   never routes exports no gc.* series, and repeated phases reuse the
+   same cells through the registry's idempotent registration. *)
+let g_minor phase = Metrics.gauge ~labels:[ ("phase", phase) ] "gc.minor_words"
+let g_promoted phase = Metrics.gauge ~labels:[ ("phase", phase) ] "gc.promoted_words"
+let g_major phase = Metrics.gauge ~labels:[ ("phase", phase) ] "gc.major_words"
+let g_heap phase = Metrics.gauge ~labels:[ ("phase", phase) ] "gc.heap_words"
+let c_minor phase = Metrics.counter ~labels:[ ("phase", phase) ] "gc.minor_collections"
+let c_major phase = Metrics.counter ~labels:[ ("phase", phase) ] "gc.major_collections"
+let c_compact phase = Metrics.counter ~labels:[ ("phase", phase) ] "gc.compactions"
+
+(* minor_words comes from [Gc.minor_words ()], not the [Gc.stat] field:
+   quick_stat's counter is only folded in at minor collections, so a
+   phase that fits inside one minor heap would report zero allocation. *)
+let record name ~minor0 ~minor1 (before : Gc.stat) (after : Gc.stat) =
+  Metrics.accum (g_minor name) (minor1 -. minor0);
+  Metrics.accum (g_promoted name)
+    (after.Gc.promoted_words -. before.Gc.promoted_words);
+  Metrics.accum (g_major name) (after.Gc.major_words -. before.Gc.major_words);
+  Metrics.set (g_heap name) (float_of_int after.Gc.heap_words);
+  Metrics.add (c_minor name)
+    (max 0 (after.Gc.minor_collections - before.Gc.minor_collections));
+  Metrics.add (c_major name)
+    (max 0 (after.Gc.major_collections - before.Gc.major_collections));
+  Metrics.add (c_compact name) (max 0 (after.Gc.compactions - before.Gc.compactions))
+
+let phase name f =
+  let before = Gc.quick_stat () in
+  let minor0 = Gc.minor_words () in
+  Fun.protect
+    ~finally:(fun () ->
+      record name ~minor0 ~minor1:(Gc.minor_words ()) before (Gc.quick_stat ()))
+    f

@@ -8,10 +8,11 @@ type state = {
   buf : event array;
   capacity : int;
   mutable next : int;  (** total events ever recorded *)
-  mutable t0 : float;  (** wall-clock origin, seconds *)
-  mutable last_us : float;  (** monotonic clamp *)
+  mutable t0_ns : int64;  (** monotonic origin (Clock.now_ns at enable) *)
+  mutable last_us : float;  (** non-decreasing clamp *)
   mutable depth : int;
   mutable stack : string list;  (** open span names, innermost first *)
+  mutable dropped_spans : int;  (** B events evicted by ring wrap *)
 }
 
 let dummy_event = { name = ""; ph = I; ts_us = 0.0; args = [] }
@@ -32,8 +33,11 @@ let enabled () = !state <> None
 
 (* Ring overwrites surface in the metrics registry too, so an exported
    gsino-metrics-v1 snapshot carries the evidence that the trace is (or
-   is not) complete; CI asserts this counter is zero.  Registered at
-   [enable] so instrumented runs always export it, even at zero. *)
+   is not) complete; CI asserts this counter is zero.  The counter counts
+   dropped *spans* (evicted begin events) — the unit the name promises —
+   matching [dropped_spans ()]; [dropped ()] counts raw evicted events of
+   any phase.  Registered at [enable] so instrumented runs always export
+   it, even at zero. *)
 let m_dropped = lazy (Metrics.counter "trace.dropped_spans")
 
 let enable ?(capacity = 65536) () =
@@ -46,24 +50,38 @@ let enable ?(capacity = 65536) () =
         buf = Array.make capacity dummy_event;
         capacity;
         next = 0;
-        t0 = Unix.gettimeofday ();
+        t0_ns = Clock.now_ns ();
         last_us = 0.0;
         depth = 0;
         stack = [];
+        dropped_spans = 0;
       }
 
 let disable () = state := None
 
 let clear () = match !state with None -> () | Some s -> enable ~capacity:s.capacity ()
 
+(* Microseconds since [enable] on the monotonic clock, clamped
+   non-decreasing (the clamp is belt-and-braces: CLOCK_MONOTONIC already
+   never steps backwards, but the gettimeofday fallback can). *)
 let now_us s =
-  let t = (Unix.gettimeofday () -. s.t0) *. 1e6 in
+  let t = Int64.to_float (Int64.sub (Clock.now_ns ()) s.t0_ns) /. 1e3 in
   let t = if t > s.last_us then t else s.last_us in
   s.last_us <- t;
   t
 
 let record s ev =
-  if s.next >= s.capacity then Metrics.incr (Lazy.force m_dropped);
+  (if s.next >= s.capacity then begin
+     (* the ring wrapped: this write evicts the oldest buffered event.
+        An evicted B orphans its E — that is one whole span lost from the
+        export, and what the dropped_spans accounting counts. *)
+     let evicted = s.buf.(s.next mod s.capacity) in
+     match evicted.ph with
+     | B ->
+         s.dropped_spans <- s.dropped_spans + 1;
+         Metrics.incr (Lazy.force m_dropped)
+     | E | I -> ()
+   end);
   s.buf.(s.next mod s.capacity) <- ev;
   s.next <- s.next + 1
 
@@ -90,10 +108,13 @@ let span_args name args f =
 let span name f =
   match active () with None -> f () | Some _ -> span_args name [] f
 
+(* Durations come from the monotonic clock: these feed
+   flow.phase_seconds and the bench stage tables, where an NTP step
+   through a wall-clock interval would fabricate a regression. *)
 let timed_span name f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_s () in
   let v = span name f in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Clock.elapsed_s t0)
 
 let instant ?(args = []) name =
   match active () with
@@ -105,6 +126,9 @@ let depth () = match active () with None -> 0 | Some s -> s.depth
 let dropped () =
   match !state with None -> 0 | Some s -> max 0 (s.next - s.capacity)
 
+let dropped_spans () =
+  match !state with None -> 0 | Some s -> s.dropped_spans
+
 let events () =
   match !state with
   | None -> []
@@ -112,6 +136,30 @@ let events () =
       let n = min s.next s.capacity in
       let first = s.next - n in
       List.init n (fun i -> s.buf.((first + i) mod s.capacity))
+
+(* Pair-safe view of the buffer: when the ring wrapped, a span's B event
+   may have been evicted while its E survived.  Such an orphaned E —
+   recognisable as an end event arriving at nesting depth 0 within the
+   window — would corrupt the stack-based B/E pairing every trace viewer
+   performs, so it is removed here.  Unclosed B events (spans still open,
+   or whose E is yet to come) are kept: viewers render them as running
+   spans, which is accurate. *)
+let paired_events () =
+  let depth = ref 0 in
+  List.filter
+    (fun ev ->
+      match ev.ph with
+      | B ->
+          incr depth;
+          true
+      | E ->
+          if !depth > 0 then begin
+            decr depth;
+            true
+          end
+          else false (* orphan: begin event evicted by the ring *)
+      | I -> true)
+    (events ())
 
 let ph_string = function B -> "B" | E -> "E" | I -> "i"
 
@@ -135,13 +183,14 @@ let event_json ev =
 let to_chrome_json () =
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map event_json (events ())));
+      ("traceEvents", Json.List (List.map event_json (paired_events ())));
       ("displayTimeUnit", Json.Str "ms");
       ( "otherData",
         Json.Obj
           [
             ("tool", Json.Str "gsino");
             ("droppedEvents", Json.Int (dropped ()));
+            ("droppedSpans", Json.Int (dropped_spans ()));
           ] );
     ]
 

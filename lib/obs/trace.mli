@@ -1,8 +1,8 @@
 (** Span tracing with Chrome-trace export.
 
-    Nestable spans over a monotonic (non-decreasing) microsecond clock,
-    recorded into a fixed-capacity ring buffer of begin/end/instant
-    events.  Disabled by default: until {!enable} is called, {!span} is a
+    Nestable spans over the monotonic {!Clock} (microseconds since
+    {!enable}; immune to NTP steps), recorded into a fixed-capacity ring
+    buffer of begin/end/instant events.  Disabled by default: until {!enable} is called, {!span} is a
     bool test plus a direct call of its thunk — no event, no timestamp,
     no allocation — so leaving instrumentation in the hot paths costs
     nothing in production runs ({!timed_span} additionally reads the
@@ -45,8 +45,8 @@ val span : string -> (unit -> 'a) -> 'a
 (** [span_args name args f] — as {!span}, with begin-event arguments. *)
 val span_args : string -> args -> (unit -> 'a) -> 'a
 
-(** [timed_span name f] — [span], plus the wall-clock seconds [f] took.
-    The duration is measured (and returned) even when tracing is
+(** [timed_span name f] — [span], plus the monotonic-clock seconds [f]
+    took.  The duration is measured (and returned) even when tracing is
     disabled. *)
 val timed_span : string -> (unit -> 'a) -> 'a * float
 
@@ -60,11 +60,23 @@ val depth : unit -> int
     ring wrapped (check {!dropped}) or spans are still open. *)
 val events : unit -> event list
 
-(** Events overwritten since {!enable}.  Overwrites also increment the
+(** {!events} with orphaned end events removed: when the ring wraps, a
+    span's begin event can be evicted while its end event survives, and
+    such an unmatched ["E"] corrupts the stack-based pairing every trace
+    viewer performs.  This is the view {!to_chrome_json} exports and
+    {!Prof} folds; begin events whose end is still pending are kept
+    (viewers render them as running spans). *)
+val paired_events : unit -> event list
+
+(** Events of any phase overwritten since {!enable}. *)
+val dropped : unit -> int
+
+(** Spans lost to ring wraparound since {!enable} — begin events that
+    were overwritten, orphaning their end events.  Mirrored by the
     [trace.dropped_spans] {!Metrics} counter (registered by {!enable},
     cumulative across the process), so exported metrics snapshots record
-    whether the trace ring ever wrapped. *)
-val dropped : unit -> int
+    whether the trace ring ever lost a span. *)
+val dropped_spans : unit -> int
 
 val clear : unit -> unit
 

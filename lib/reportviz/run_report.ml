@@ -113,6 +113,39 @@ let html ?(tech = Tech.default) ?(title = "GSINO run report") ~snapshot
        ~fmt:(Printf.sprintf "%.2f s")
        (List.map (fun (p, s) -> ("phase " ^ p, s)) (phase_rows r)));
 
+  (* span self-time profile, present only when tracing was on — the
+     report is written at the end of the run, so the ring holds the
+     whole flow *)
+  (match Eda_obs.Prof.current () with
+  | [] -> ()
+  | rows ->
+      let all_self = List.fold_left (fun s p -> s +. p.Eda_obs.Prof.self_us) 0.0 rows in
+      add "<h2>Profile</h2>\n";
+      addf
+        "<p class=\"sub\">top %d of %d span names by self time (total self \
+         %.2f s); %d span(s) lost to trace-ring wraparound</p>\n"
+        (min 10 (List.length rows))
+        (List.length rows) (all_self /. 1e6)
+        (Eda_obs.Trace.dropped_spans ());
+      add
+        "<table>\n<thead><tr><th class=\"l\">span</th><th>calls</th><th>total \
+         (ms)</th><th>self (ms)</th><th>self %</th><th>p95 (ms)</th><th>max \
+         (ms)</th></tr></thead>\n<tbody>\n";
+      List.iteri
+        (fun i p ->
+          if i < 10 then
+            addf
+              "<tr><td class=\"l\">%s</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.1f</td><td>%.3f</td><td>%.3f</td></tr>\n"
+              (esc p.Eda_obs.Prof.name) p.Eda_obs.Prof.calls
+              (p.Eda_obs.Prof.total_us /. 1e3)
+              (p.Eda_obs.Prof.self_us /. 1e3)
+              (if all_self > 0.0 then 100.0 *. p.Eda_obs.Prof.self_us /. all_self
+               else 0.0)
+              (p.Eda_obs.Prof.p95_us /. 1e3)
+              (p.Eda_obs.Prof.max_us /. 1e3))
+        rows;
+      add "</tbody>\n</table>\n");
+
   (* congestion + shield heatmaps, one pair per routing direction,
      preceded by the pre-route predicted demand so prediction quality is
      visible at a glance *)

@@ -94,7 +94,7 @@ let test_quantile () =
 (* Build a snapshot via the JSON import, not the global registry —
    registrations survive Metrics.reset, so registry-built snapshots can
    never *lack* a series another test registered. *)
-let snap_of entries =
+let snap_json entries =
   let metric (name, labels, v) =
     Json.Obj
       [
@@ -104,12 +104,13 @@ let snap_of entries =
         ("value", Json.Int v);
       ]
   in
-  of_json_exn
-    (Json.Obj
-       [
-         ("schema", Json.Str "gsino-metrics-v1");
-         ("metrics", Json.List (List.map metric entries));
-       ])
+  Json.Obj
+    [
+      ("schema", Json.Str "gsino-metrics-v1");
+      ("metrics", Json.List (List.map metric entries));
+    ]
+
+let snap_of entries = of_json_exn (snap_json entries)
 
 let test_diff_classification () =
   let before = snap_of [ ("a", [], 1); ("b", [], 2); ("c", [], 3) ] in
@@ -231,6 +232,129 @@ let test_pp_entry_renders () =
       Alcotest.(check bool) "series name" true (contains ~sub:"m{kind=A}" s)
   | l -> Alcotest.failf "expected 1 entry, got %d" (List.length l)
 
+(* ----------------------------- exclude ------------------------------ *)
+
+let test_policy_exclude_parse_and_filter () =
+  let p =
+    policy_of_string
+      "{\"schema\":\"gsino-diff-policy-v1\",\"exclude\":[\"prof.\",\"gc.\"],\"tolerances\":[{\"metric\":\"m\",\"max_abs\":0}]}"
+  in
+  Alcotest.(check (list string)) "prefixes kept in order" [ "prof."; "gc." ]
+    p.Diff.exclude;
+  Alcotest.(check bool) "prefix matches" true (Diff.excluded p "prof.self_us");
+  Alcotest.(check bool) "other names pass" false
+    (Diff.excluded p "flow.violations");
+  Alcotest.(check bool) "prefix, not substring" false
+    (Diff.excluded p "xprof.self_us");
+  (* excluded series vanish from the diff before rendering and gating:
+     a wild prof.* drift must not trip the m guard *)
+  let before =
+    snap_of [ ("m", [], 1); ("prof.self_us", [], 10); ("gc.minor_words", [], 5) ]
+  in
+  let after = snap_of [ ("m", [], 1); ("prof.self_us", [], 9999) ] in
+  let entries = Diff.apply_exclude p (Diff.diff before after) in
+  Alcotest.(check (list string)) "only the guarded series left" [ "m" ]
+    (List.map (fun e -> e.Diff.name) entries);
+  Alcotest.(check int) "gate unaffected by volatile drift" 0
+    (List.length (Diff.check p entries));
+  (* a policy without the key parses to no excludes *)
+  let p0 =
+    policy_of_string
+      "{\"schema\":\"gsino-diff-policy-v1\",\"tolerances\":[{\"metric\":\"m\"}]}"
+  in
+  Alcotest.(check (list string)) "default empty" [] p0.Diff.exclude;
+  (* non-string members are rejected *)
+  match
+    Json.of_string
+      "{\"schema\":\"gsino-diff-policy-v1\",\"exclude\":[1],\"tolerances\":[]}"
+  with
+  | Error msg -> Alcotest.failf "setup: %s" msg
+  | Ok j -> (
+      match Diff.policy_of_json j with
+      | Ok _ -> Alcotest.fail "numeric exclude accepted"
+      | Error _ -> ())
+
+(* ----------------------------- history ------------------------------ *)
+
+let history_file lines =
+  let path = Filename.temp_file "gsino_hist" ".jsonl" in
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  path
+
+let history_line ts metrics =
+  Json.to_string
+    (Json.Obj
+       [
+         ("schema", Json.Str "gsino-bench-history-v1");
+         ("ts", Json.Int ts);
+         ("scale", Json.Float 0.1);
+         ("seed", Json.Int 7);
+         ("snapshot", snap_json metrics);
+       ])
+
+let test_history_load_and_trends () =
+  let path =
+    history_file
+      [
+        history_line 1000 [ ("m", [], 1); ("once", [], 3) ];
+        "";
+        (* blank lines are skipped *)
+        history_line 2000
+          [ ("m", [ ("kind", "A") ], 2); ("m", [ ("kind", "B") ], 3) ];
+        history_line 4600 [ ("m", [], 9) ];
+      ]
+  in
+  (match Diff.History.load path with
+  | Error msg -> Alcotest.failf "load: %s" msg
+  | Ok entries ->
+      Alcotest.(check int) "three snapshots" 3 (List.length entries);
+      (match entries with
+      | e :: _ ->
+          Alcotest.(check bool) "ts" true (e.Diff.History.ts = 1000.0);
+          Alcotest.(check bool) "meta carries scale/seed" true
+            (List.mem ("scale", "0.1") e.Diff.History.meta
+            && List.mem ("seed", "7") e.Diff.History.meta)
+      | [] -> Alcotest.fail "no entries");
+      let trends = Diff.History.trends entries in
+      (match List.find_opt (fun t -> t.Diff.History.name = "m") trends with
+      | Some t ->
+          Alcotest.(check int) "m in all three" 3 t.Diff.History.n;
+          (* the middle snapshot's two label sets sum to one scalar *)
+          Alcotest.(check bool) "envelope" true
+            (t.Diff.History.first = 1.0 && t.Diff.History.last = 9.0
+           && t.Diff.History.lo = 1.0 && t.Diff.History.hi = 9.0)
+      | None -> Alcotest.fail "trend for m missing");
+      match List.find_opt (fun t -> t.Diff.History.name = "once") trends with
+      | Some t ->
+          Alcotest.(check int) "sparse series counted once" 1 t.Diff.History.n
+      | None -> Alcotest.fail "trend for once missing");
+  Sys.remove path
+
+let test_history_rejects_malformed () =
+  let path =
+    history_file [ history_line 1000 [ ("m", [], 1) ]; "{not json" ]
+  in
+  (match Diff.History.load path with
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+  | Error msg ->
+      Alcotest.(check bool) "error names the line" true
+        (contains ~sub:":2:" msg));
+  Sys.remove path;
+  let path2 = history_file [ "{\"schema\":\"gsino-bench-history-v1\"}" ] in
+  (match Diff.History.load path2 with
+  | Ok _ -> Alcotest.fail "entry without ts/snapshot accepted"
+  | Error _ -> ());
+  Sys.remove path2;
+  match Diff.History.load "/nonexistent/gsino_history.jsonl" with
+  | Ok _ -> Alcotest.fail "missing file accepted"
+  | Error _ -> ()
+
 let suites =
   [
     ( "obs.diff",
@@ -251,5 +375,11 @@ let suites =
         Alcotest.test_case "added/removed/absent breach" `Quick
           test_policy_added_removed_absent_breach;
         Alcotest.test_case "pp_entry" `Quick test_pp_entry_renders;
+        Alcotest.test_case "exclude prefixes" `Quick
+          test_policy_exclude_parse_and_filter;
+        Alcotest.test_case "history load + trends" `Quick
+          test_history_load_and_trends;
+        Alcotest.test_case "history rejects malformed" `Quick
+          test_history_rejects_malformed;
       ] );
   ]

@@ -122,17 +122,56 @@ let test_worker_metrics_folded_in () =
   Alcotest.(check int) "sequential count" 500 (count 1);
   Alcotest.(check int) "parallel count" 500 (count 4)
 
+let test_pool_observability_series () =
+  Metrics.reset ();
+  Eda_exec.with_pool ~jobs:4 (fun pool ->
+      ignore (Eda_exec.parallel_map ~pool 2000 (fun i -> i * i)));
+  let snap = Metrics.snapshot () in
+  let busy =
+    List.filter
+      (fun (n, _, _) -> n = "exec.domain_busy_ns")
+      (Metrics.entries snap)
+  in
+  Alcotest.(check bool) "per-domain busy exported" true (busy <> []);
+  let total_busy =
+    List.fold_left
+      (fun s (_, labels, v) ->
+        Alcotest.(check bool) "domain label present" true
+          (List.mem_assoc "domain" labels);
+        match v with
+        | Metrics.Counter c ->
+            Alcotest.(check bool) "busy non-negative" true (c >= 0);
+            s + c
+        | Metrics.Gauge _ | Metrics.Histogram _ ->
+            Alcotest.fail "busy_ns should be a counter")
+      0 busy
+  in
+  Alcotest.(check bool) "some domain did work" true (total_busy > 0);
+  Alcotest.(check bool) "sections counted" true
+    (Metrics.counter_total snap "exec.sections" > 0);
+  Alcotest.(check bool) "steal series exported" true
+    (List.exists (fun (n, _, _) -> n = "exec.steals") (Metrics.entries snap));
+  match Metrics.find snap "exec.imbalance" with
+  | Some (Metrics.Histogram h) ->
+      Alcotest.(check bool) "imbalance observed" true (h.Metrics.count >= 1)
+  | Some (Metrics.Counter _ | Metrics.Gauge _) | None ->
+      Alcotest.fail "exec.imbalance histogram missing"
+
 (* -------------------- end-to-end determinism ------------------------ *)
 
 let tech = Tech.default
 
 (* exec.* series are expected to differ (they describe the pool itself);
-   flow.phase_seconds is wall-clock.  Everything else must match. *)
+   gc.* deltas depend on what the coordinator domain happened to
+   allocate; flow.phase_seconds is wall-clock.  Everything else must
+   match — the same volatile-prefix set bench/regression_policy.json
+   excludes. *)
 let comparable snap =
   List.filter
     (fun (name, _, _) ->
       name <> "flow.phase_seconds"
-      && not (String.length name >= 5 && String.sub name 0 5 = "exec."))
+      && (not (String.starts_with ~prefix:"exec." name))
+      && not (String.starts_with ~prefix:"gc." name))
     (Metrics.entries snap)
 
 let gsino_with ~jobs =
@@ -207,6 +246,8 @@ let suites =
         Alcotest.test_case "absorb round-trip" `Quick test_absorb_roundtrip;
         Alcotest.test_case "worker metrics folded in" `Quick
           test_worker_metrics_folded_in;
+        Alcotest.test_case "pool observability series" `Quick
+          test_pool_observability_series;
       ] );
     ( "exec.determinism",
       [

@@ -240,16 +240,86 @@ let test_ring_capacity_and_dropped () =
 let test_dropped_spans_counter () =
   fresh ();
   Trace.enable ~capacity:4 ();
+  (* 5 spans = 10 events through a 4-slot ring: 6 events evicted, of
+     which 3 are B events — 3 spans lost their begin *)
+  for i = 1 to 5 do
+    Trace.span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "raw evicted events" 6 (Trace.dropped ());
+  Alcotest.(check int) "spans lost" 3 (Trace.dropped_spans ());
+  (* the span count (not the raw event count) is what the exported
+     metrics mirror *)
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "counter mirrors dropped_spans ()"
+    (Trace.dropped_spans ())
+    (Metrics.counter_total snap "trace.dropped_spans");
+  Trace.disable ()
+
+let test_instants_are_not_dropped_spans () =
+  fresh ();
+  Trace.enable ~capacity:4 ();
   for i = 1 to 10 do
     Trace.instant (Printf.sprintf "d%d" i)
   done;
-  (* every ring overwrite also shows up in the exported metrics *)
-  let snap = Metrics.snapshot () in
-  Alcotest.(check int) "counter mirrors dropped ()" (Trace.dropped ())
-    (Metrics.counter_total snap "trace.dropped_spans");
-  Alcotest.(check int) "six overwrites" 6
-    (Metrics.counter_total snap "trace.dropped_spans");
+  (* instants evicted from the ring orphan nothing: no span was lost *)
+  Alcotest.(check int) "raw evicted events" 6 (Trace.dropped ());
+  Alcotest.(check int) "no spans lost" 0 (Trace.dropped_spans ());
+  Alcotest.(check int) "counter stays 0" 0
+    (Metrics.counter_total (Metrics.snapshot ()) "trace.dropped_spans");
   Trace.disable ()
+
+let test_paired_events_drop_orphans () =
+  fresh ();
+  Trace.enable ~capacity:3 ();
+  (* stream B1 E1 ... B5 E5; the 3 survivors are E4 B5 E5 — E4's begin
+     was evicted, so the pair-safe view must drop it *)
+  for i = 1 to 5 do
+    Trace.span (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "raw view keeps orphan" 3
+    (List.length (Trace.events ()));
+  let paired = Trace.paired_events () in
+  Alcotest.(check (list string))
+    "orphan E filtered" [ "s5"; "s5" ]
+    (List.map (fun e -> e.Trace.name) paired);
+  Alcotest.(check bool)
+    "B before E" true
+    (match paired with
+    | [ b; e ] -> b.Trace.ph = Trace.B && e.Trace.ph = Trace.E
+    | _ -> false);
+  (* the chrome export uses the pair-safe view and reports the loss *)
+  let j = Trace.to_chrome_json () in
+  (match Json.member "traceEvents" j with
+  | Some (Json.List evs) -> Alcotest.(check int) "export pair-safe" 2 (List.length evs)
+  | Some _ | None -> Alcotest.fail "traceEvents missing");
+  (match Json.member "otherData" j with
+  | Some other -> (
+      match Json.member "droppedSpans" other with
+      | Some (Json.Int n) -> Alcotest.(check int) "droppedSpans exported" 4 n
+      | Some _ | None -> Alcotest.fail "droppedSpans missing")
+  | None -> Alcotest.fail "otherData missing");
+  Trace.disable ()
+
+let test_unclosed_span_kept_in_paired () =
+  fresh ();
+  Trace.enable ();
+  Trace.span "outer" (fun () ->
+      Trace.instant "inside";
+      (* snapshot taken while the span is still open: its pending B is a
+         running span and must be kept — only orphaned Es are dropped *)
+      Alcotest.(check int) "open B kept" 2
+        (List.length (Trace.paired_events ())));
+  Alcotest.(check int) "balanced afterwards" 3
+    (List.length (Trace.paired_events ()));
+  Trace.disable ()
+
+let test_clock_monotone () =
+  let a = Eda_obs.Clock.now_ns () in
+  let b = Eda_obs.Clock.now_ns () in
+  Alcotest.(check bool) "ns non-decreasing" true (Int64.compare a b <= 0);
+  let t0 = Eda_obs.Clock.now_s () in
+  Alcotest.(check bool) "seconds positive" true (t0 > 0.0);
+  Alcotest.(check bool) "elapsed non-negative" true (Eda_obs.Clock.elapsed_s t0 >= 0.0)
 
 let test_dropped_spans_zero_without_wrap () =
   fresh ();
@@ -294,6 +364,222 @@ let test_chrome_json_parses () =
       Alcotest.(check (list string)) "phase letters" [ "B"; "i"; "E" ] phases
   | Some _ | None -> Alcotest.fail "traceEvents missing");
   Trace.disable ()
+
+(* ----------------------------- Prof -------------------------------- *)
+
+module Prof = Eda_obs.Prof
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let ev name ph ts_us = { Trace.name; ph; ts_us; args = [] }
+
+let test_prof_self_vs_total () =
+  (* outer spans [0,100], inner [10,30]: inner's 20us are attributed to
+     inner's self time and deducted from outer's *)
+  let evs =
+    [
+      ev "outer" Trace.B 0.0;
+      ev "inner" Trace.B 10.0;
+      ev "inner" Trace.E 30.0;
+      ev "outer" Trace.E 100.0;
+    ]
+  in
+  match Prof.of_events evs with
+  | [ o; i ] ->
+      Alcotest.(check string) "largest self first" "outer" o.Prof.name;
+      Alcotest.(check int) "outer calls" 1 o.Prof.calls;
+      check_float "outer total" 100.0 o.Prof.total_us;
+      check_float "outer self = total - child" 80.0 o.Prof.self_us;
+      Alcotest.(check string) "inner second" "inner" i.Prof.name;
+      check_float "inner total" 20.0 i.Prof.total_us;
+      check_float "leaf self = total" 20.0 i.Prof.self_us
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_prof_percentiles () =
+  (* 20 calls with durations 1..20us: p95 is the 19th order statistic *)
+  let evs =
+    List.concat
+      (List.init 20 (fun i ->
+           let i = i + 1 in
+           let t = 100.0 *. float_of_int i in
+           [ ev "s" Trace.B t; ev "s" Trace.E (t +. float_of_int i) ]))
+  in
+  match Prof.of_events evs with
+  | [ r ] ->
+      Alcotest.(check int) "calls" 20 r.Prof.calls;
+      check_float "total = 1+..+20" 210.0 r.Prof.total_us;
+      check_float "p95 exact" 19.0 r.Prof.p95_us;
+      check_float "max" 20.0 r.Prof.max_us
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_prof_ignores_orphans_and_open () =
+  (* an orphaned E (begin evicted), an unclosed B (span still running)
+     and an instant must all contribute nothing *)
+  let evs =
+    [
+      ev "orphan" Trace.E 5.0;
+      ev "a" Trace.B 10.0;
+      ev "a" Trace.E 20.0;
+      ev "note" Trace.I 25.0;
+      ev "open" Trace.B 30.0;
+    ]
+  in
+  match Prof.of_events evs with
+  | [ r ] ->
+      Alcotest.(check string) "only the closed span" "a" r.Prof.name;
+      check_float "its duration" 10.0 r.Prof.total_us
+  | rows -> Alcotest.failf "expected 1 row, got %d" (List.length rows)
+
+let test_prof_top_share () =
+  (* three sequential spans with self 80/15/5us *)
+  let evs =
+    [
+      ev "a" Trace.B 0.0;
+      ev "a" Trace.E 80.0;
+      ev "b" Trace.B 100.0;
+      ev "b" Trace.E 115.0;
+      ev "c" Trace.B 200.0;
+      ev "c" Trace.E 205.0;
+    ]
+  in
+  let rows = Prof.of_events evs in
+  check_float "top 1 covers 80%" 0.80 (Prof.top_share 1 rows);
+  check_float "top 2 covers 95%" 0.95 (Prof.top_share 2 rows);
+  check_float "top n covers all" 1.0 (Prof.top_share 10 rows);
+  check_float "empty profile covers trivially" 1.0 (Prof.top_share 10 [])
+
+let test_prof_json_and_metrics () =
+  fresh ();
+  let rows = Prof.of_events [ ev "x" Trace.B 0.0; ev "x" Trace.E 50.0 ] in
+  let j = roundtrip (Prof.to_json rows) in
+  (match Json.member "schema" j with
+  | Some (Json.Str s) -> Alcotest.(check string) "schema" "gsino-profile-v1" s
+  | Some _ | None -> Alcotest.fail "schema missing");
+  (* whole-valued floats may round-trip through JSON as ints *)
+  let num = function
+    | Some (Json.Float f) -> Some f
+    | Some (Json.Int i) -> Some (float_of_int i)
+    | Some (Json.Null | Json.Bool _ | Json.Str _ | Json.List _ | Json.Obj _)
+    | None ->
+        None
+  in
+  (match num (Json.member "total_us" j) with
+  | Some t -> check_float "total_us" 50.0 t
+  | None -> Alcotest.fail "total_us missing");
+  (match Json.member "spans" j with
+  | Some (Json.List [ span ]) -> (
+      match num (Json.member "self_us" span) with
+      | Some s -> check_float "span self_us" 50.0 s
+      | None -> Alcotest.fail "self_us missing")
+  | Some _ | None -> Alcotest.fail "spans shape");
+  Prof.export_metrics rows;
+  let snap = Metrics.snapshot () in
+  let labels = [ ("span", "x") ] in
+  (match Metrics.find ~labels snap "prof.self_us" with
+  | Some (Metrics.Gauge v) -> check_float "prof.self_us gauge" 50.0 v
+  | Some (Metrics.Counter _ | Metrics.Histogram _) | None ->
+      Alcotest.fail "prof.self_us gauge missing");
+  match Metrics.find ~labels snap "prof.calls" with
+  | Some (Metrics.Gauge v) -> check_float "prof.calls gauge" 1.0 v
+  | Some (Metrics.Counter _ | Metrics.Histogram _) | None ->
+      Alcotest.fail "prof.calls gauge missing"
+
+let test_prof_current_and_text () =
+  fresh ();
+  Alcotest.(check int) "empty when disabled" 0 (List.length (Prof.current ()));
+  Trace.enable ();
+  Trace.span "phase:demo" (fun () -> Trace.span "leaf" (fun () -> ()));
+  let rows = Prof.current () in
+  Alcotest.(check int) "both spans profiled" 2 (List.length rows);
+  let txt = Prof.to_text rows in
+  Alcotest.(check bool) "table names outer" true (contains ~sub:"phase:demo" txt);
+  Alcotest.(check bool) "table names leaf" true (contains ~sub:"leaf" txt);
+  Trace.disable ()
+
+(* --------------------------- Progress ------------------------------- *)
+
+module Progress = Eda_obs.Progress
+
+let test_progress_heartbeat () =
+  let lines = ref [] in
+  Progress.enable ~interval_ms:1 ~emit:(fun l -> lines := l :: !lines) ();
+  Alcotest.(check bool) "enabled" true (Progress.enabled ());
+  Progress.set_deadline (fun () -> Some 1500);
+  Progress.phase "route";
+  (* a phase transition emits immediately, rate limit notwithstanding *)
+  Alcotest.(check int) "phase line emitted" 1 (List.length !lines);
+  let first = List.hd !lines in
+  Alcotest.(check bool) "phase named" true
+    (contains ~sub:"[gsino] phase=route" first);
+  Alcotest.(check bool) "deadline column" true (contains ~sub:"left=1.5s" first);
+  (* outwait the 1ms rate limit on the monotonic clock, then tick past
+     the clock-read stride: the heartbeat must fire again with items *)
+  let t0 = Eda_obs.Clock.now_s () in
+  while Eda_obs.Clock.elapsed_s t0 < 0.002 do
+    ()
+  done;
+  for i = 1 to 130 do
+    Progress.tick ~items_total:10 ~items_done:i ()
+  done;
+  Alcotest.(check bool) "tick line emitted" true (List.length !lines >= 2);
+  Alcotest.(check bool) "items rendered" true
+    (contains ~sub:"/10 (" (List.hd !lines));
+  Progress.disable ();
+  Alcotest.(check bool) "disabled" false (Progress.enabled ())
+
+let test_progress_single_writer () =
+  let lines = ref [] in
+  Progress.enable ~interval_ms:1 ~emit:(fun l -> lines := l :: !lines) ();
+  (* ticks and phase changes from worker domains are ignored: the
+     emitter belongs to the enabling (coordinator) domain *)
+  let d =
+    Domain.spawn (fun () ->
+        Progress.phase "worker";
+        Progress.tick ~items_done:1 ())
+  in
+  Domain.join d;
+  Alcotest.(check int) "off-domain ignored" 0 (List.length !lines);
+  Progress.disable ();
+  Progress.phase "after";
+  Progress.tick ~items_done:1 ();
+  Alcotest.(check int) "disabled is a no-op" 0 (List.length !lines)
+
+(* ---------------------------- Gcstat -------------------------------- *)
+
+let test_gcstat_phase () =
+  fresh ();
+  let r =
+    Eda_obs.Gcstat.phase "t" (fun () ->
+        (* many small blocks: large arrays go straight to the major heap
+           and would leave the minor-words delta at zero *)
+        let acc = ref [] in
+        for i = 1 to 1000 do
+          acc := (i, i) :: !acc
+        done;
+        ignore (Sys.opaque_identity !acc);
+        42)
+  in
+  Alcotest.(check int) "value returned" 42 r;
+  let labels = [ ("phase", "t") ] in
+  let snap = Metrics.snapshot () in
+  (match Metrics.find ~labels snap "gc.minor_words" with
+  | Some (Metrics.Gauge v) ->
+      Alcotest.(check bool) "allocation attributed" true (v > 0.0)
+  | Some (Metrics.Counter _ | Metrics.Histogram _) | None ->
+      Alcotest.fail "gc.minor_words gauge missing");
+  Alcotest.(check bool) "heap words recorded" true
+    (Metrics.find ~labels snap "gc.heap_words" <> None);
+  Alcotest.(check bool) "collections recorded" true
+    (Metrics.find ~labels snap "gc.minor_collections" <> None);
+  (* the delta is recorded even when the phase body raises *)
+  (try Eda_obs.Gcstat.phase "exc" (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check bool) "recorded on raise" true
+    (Metrics.find ~labels:[ ("phase", "exc") ] (Metrics.snapshot ())
+       "gc.minor_words"
+    <> None)
 
 (* ----------------------------- Log --------------------------------- *)
 
@@ -374,11 +660,37 @@ let suites =
         Alcotest.test_case "ring capacity" `Quick test_ring_capacity_and_dropped;
         Alcotest.test_case "dropped_spans counter" `Quick
           test_dropped_spans_counter;
+        Alcotest.test_case "instants not dropped spans" `Quick
+          test_instants_are_not_dropped_spans;
+        Alcotest.test_case "paired drops orphans" `Quick
+          test_paired_events_drop_orphans;
+        Alcotest.test_case "paired keeps open spans" `Quick
+          test_unclosed_span_kept_in_paired;
+        Alcotest.test_case "clock monotone" `Quick test_clock_monotone;
         Alcotest.test_case "dropped_spans zero" `Quick
           test_dropped_spans_zero_without_wrap;
         Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
         Alcotest.test_case "chrome json parses" `Quick test_chrome_json_parses;
       ] );
+    ( "obs.prof",
+      [
+        Alcotest.test_case "self vs total" `Quick test_prof_self_vs_total;
+        Alcotest.test_case "percentiles" `Quick test_prof_percentiles;
+        Alcotest.test_case "orphans and open spans" `Quick
+          test_prof_ignores_orphans_and_open;
+        Alcotest.test_case "top_share" `Quick test_prof_top_share;
+        Alcotest.test_case "json + metrics export" `Quick
+          test_prof_json_and_metrics;
+        Alcotest.test_case "current + text table" `Quick
+          test_prof_current_and_text;
+      ] );
+    ( "obs.progress",
+      [
+        Alcotest.test_case "heartbeat" `Quick test_progress_heartbeat;
+        Alcotest.test_case "single writer" `Quick test_progress_single_writer;
+      ] );
+    ( "obs.gcstat",
+      [ Alcotest.test_case "phase deltas" `Quick test_gcstat_phase ] );
     ( "obs.log",
       [
         Alcotest.test_case "levels" `Quick test_log_levels;
