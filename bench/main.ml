@@ -369,6 +369,119 @@ let run_audit_cost () =
      trips, the analyzer grew a super-linear pass *)
   assert (audit_ms < 0.05 *. route_ms)
 
+(* ------------------------ attribution journal ----------------------- *)
+
+let run_journal_overhead () =
+  let module Journal = Eda_obs.Journal in
+  let module Trace = Eda_obs.Trace in
+  let module Prof = Eda_obs.Prof in
+  section
+    "journal (Eda_obs.Journal): attribution overhead, reconciliation, \
+     panel recurrence";
+  let tech = Tech.default in
+  let nl =
+    Generator.generate ~gcell_um:tech.Tech.gcell_um
+      ~scale:(Float.max scale 0.05) ~seed Generator.ibm01
+  in
+  let sens = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate:0.30 in
+  let config = { Flow.Config.default with Flow.Config.seed } in
+  let grid, _ = Flow.prepare ~config tech nl in
+  let run_once () =
+    let t0 = Unix.gettimeofday () in
+    ignore (Flow.run ~grid config tech ~sensitivity:sens nl);
+    Unix.gettimeofday () -. t0
+  in
+  (* warm-up, then interleaved best-of-three per mode: the overhead
+     budget is percent-level, below single-run clock noise, and heap
+     growth across iterations would otherwise bias whichever mode runs
+     last *)
+  ignore (run_once ());
+  let t_off = ref infinity and t_on = ref infinity in
+  for _ = 1 to 3 do
+    Journal.disable ();
+    t_off := Float.min !t_off (run_once ());
+    Journal.enable ();
+    Journal.clear ();
+    t_on := Float.min !t_on (run_once ());
+    Journal.clear ()
+  done;
+  let t_off = !t_off and t_on = !t_on in
+  let overhead_pct = 100.0 *. ((t_on -. t_off) /. t_off) in
+  Metrics.set (Metrics.gauge "bench.journal_overhead_pct") overhead_pct;
+  Format.printf
+    "  flow %.2fs journal off | %.2fs on | overhead %+.2f%% (budget 3%%)@."
+    t_off t_on overhead_pct;
+  (* reconciliation: the journal's per-panel attribution must add up to
+     the profiler's phase2.panels span — same work, two instruments *)
+  Journal.enable ();
+  Journal.clear ();
+  Trace.enable ();
+  ignore (run_once ());
+  let evs = Journal.events () in
+  let span_us =
+    match
+      List.find_opt (fun p -> p.Prof.name = "phase2.panels") (Prof.current ())
+    with
+    | Some p -> p.Prof.total_us
+    | None -> 0.0
+  in
+  Trace.disable ();
+  let panel_us =
+    List.fold_left
+      (fun acc (e : Journal.event) ->
+        if e.Journal.ev = "panel.solve" then
+          acc +. Option.value (Journal.data_value e "time_us") ~default:0.0
+        else acc)
+      0.0 evs
+  in
+  let reconcile_pct =
+    if span_us > 0.0 then 100.0 *. Float.abs (span_us -. panel_us) /. span_us
+    else 0.0
+  in
+  Metrics.set (Metrics.gauge "bench.journal_reconcile_pct") reconcile_pct;
+  Format.printf
+    "  phase2.panels span %.1f ms | sum of panel.solve events %.1f ms | gap \
+     %.2f%% (budget 5%%)@."
+    (span_us /. 1e3) (panel_us /. 1e3) reconcile_pct;
+  (* duplicate-panel recurrence: how much SINO work a content-addressed
+     panel cache keyed on the canonical signature would have absorbed *)
+  let panel_evs =
+    List.filter
+      (fun (e : Journal.event) ->
+        e.Journal.ev = "panel.solve" || e.Journal.ev = "panel.resolve")
+      evs
+  in
+  let rows = Journal.Agg.by_dim "sig" panel_evs in
+  let total = List.length panel_evs and uniq = List.length rows in
+  Format.printf
+    "  panel signatures: %d events, %d unique, %d duplicates (%.1f%% \
+     cacheable)@."
+    total uniq (total - uniq)
+    (if total > 0 then
+       100.0 *. float_of_int (total - uniq) /. float_of_int total
+     else 0.0);
+  let snap = Metrics.snapshot () in
+  Format.printf
+    "  process recurrence counters: sino.panel_sig_unique %d | \
+     sino.panel_sig_dups %d@."
+    (Metrics.counter_total snap "sino.panel_sig_unique")
+    (Metrics.counter_total snap "sino.panel_sig_dups");
+  (* machine-readable counterpart for `gsino_explain` drill-down in CI *)
+  let journal_file =
+    match Sys.getenv_opt "GSINO_BENCH_JOURNAL" with
+    | Some f -> f
+    | None -> "BENCH_JOURNAL.jsonl"
+  in
+  if journal_file <> "" then begin
+    Journal.write_file journal_file evs;
+    Format.printf "  journal blob: %s (%d events)@." journal_file
+      (List.length evs)
+  end;
+  Journal.disable ();
+  (* attribution must stay a rounding error on the flow it explains *)
+  assert (overhead_pct < 3.0);
+  assert (span_us <= 0.0 || reconcile_pct < 5.0)
+
 (* ----------------------- Bechamel timings --------------------------- *)
 
 let bechamel_tests () =
@@ -464,6 +577,7 @@ let () =
   run_solver_ablation ();
   run_parallel_speedup ();
   run_audit_cost ();
+  run_journal_overhead ();
   run_bechamel ();
   section "timings (per-stage totals across the whole benchmark)";
   print_stage_durations ();

@@ -1,10 +1,11 @@
 (* cli_common — flags, exit codes and observability plumbing shared by
    the gsino_* command-line drivers.
 
-   Every binary exposes the same conventions: --trace/--metrics/--report
-   accept '-' for stdout, at most one sink may claim it, and a claimed
-   stdout silences the human-readable output so the artifact stays
-   machine-parseable.  Exit codes are uniform across the drivers and
+   Every binary exposes the same conventions:
+   --trace/--metrics/--profile/--journal/--report accept '-' for stdout,
+   at most one sink may claim it (two claims are a GSL0029 usage error),
+   and a claimed stdout silences the human-readable output so the
+   artifact stays machine-parseable.  Exit codes are uniform across the drivers and
    mirror Eda_guard.Error.exit_code: 0 success (possibly degraded),
    1 findings/regression breach, 2 usage or input error, 3 infeasible
    (under the Fail policy), 4 deadline with nothing to degrade to,
@@ -145,6 +146,16 @@ let metrics_arg =
   in
   Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
 
+let journal_arg =
+  let doc =
+    "Record the attribution journal — dimension-keyed cost events (per-net \
+     route churn, per-region reweights, per-panel SINO time/moves/outcome \
+     with canonical panel signatures) — and write it as gsino-journal-v1 \
+     JSONL to $(docv) on exit; '-' writes it to stdout and silences the \
+     human-readable output.  Drill down with $(b,gsino_explain)."
+  in
+  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
+
 let report_arg =
   let doc =
     "Write a self-contained HTML run report for the GSINO flow (congestion \
@@ -165,14 +176,25 @@ let quiet_arg =
 
 (* "-" routes an artifact to stdout.  At most one artifact may claim
    stdout; when one does the human-readable output is silenced (a null
-   formatter) so the artifact stays machine-parseable. *)
+   formatter) so the artifact stays machine-parseable.  Two sinks both
+   set to '-' would interleave JSON on one stream, so that is rejected
+   up front as a coded usage error (GSL0029, exit 2) naming the
+   offending flags. *)
 let claim_stdout ~prog sinks =
-  match List.filter (fun s -> s = Some "-") sinks with
+  match List.filter (fun (_, v) -> v = Some "-") sinks with
   | [] -> false
   | [ _ ] -> true
-  | _ :: _ :: _ ->
-      Format.eprintf
-        "%s: at most one of --trace/--metrics/--report may be '-'@." prog;
+  | clash ->
+      let flags =
+        String.concat " and " (List.map (fun (f, _) -> "--" ^ f) clash)
+      in
+      let d =
+        Diag.makef ~code:29 Diag.Error
+          "%s: %s each claim stdout ('-'); at most one artifact may write \
+           to stdout per invocation"
+          prog flags
+      in
+      prerr_endline (Diag.to_line d);
       exit exit_usage
 
 let out_formatter ~claimed =
@@ -247,6 +269,14 @@ let write_metrics = function
         (Eda_obs.Json.to_string (Metrics.to_json (Metrics.snapshot ())))
   | Some file -> Metrics.write_json file (Metrics.snapshot ())
 
+let write_journal = function
+  | None -> ()
+  | Some sink -> (
+      let evs = Eda_obs.Journal.events () in
+      match sink with
+      | "-" -> Eda_obs.Journal.output stdout evs
+      | file -> Eda_obs.Journal.write_file file evs)
+
 let write_profile = function
   | None -> ()
   | Some sink ->
@@ -268,13 +298,15 @@ let write_profile = function
    trace ring and publishes prof.* gauges, so it runs after the trace
    export and before the metrics snapshot. *)
 let with_obs ?(pretty = false) ?(prog = "gsino") ?(profile = None)
-    ?(progress = false) ~trace ~metrics ~verbose ~quiet f =
+    ?(journal = None) ?(progress = false) ~trace ~metrics ~verbose ~quiet f =
   if quiet then Log.set_level Log.Quiet
   else if verbose then Log.set_level (Log.Level Log.Debug);
   init_faults ~prog ();
   (match (trace, profile) with
   | Some _, _ | _, Some _ -> Trace.enable ()
   | None, None -> ());
+  (* before any worker domain exists, so workers see the flag *)
+  (match journal with Some _ -> Eda_obs.Journal.enable () | None -> ());
   if progress then Eda_obs.Progress.enable ();
   (* idempotent and registered with at_exit: report_error leaves through
      Stdlib.exit, which does not unwind Fun.protect, yet a failed run
@@ -286,6 +318,9 @@ let with_obs ?(pretty = false) ?(prog = "gsino") ?(profile = None)
       Eda_obs.Progress.disable ();
       write_trace trace;
       write_profile profile;
+      (* before the metrics snapshot: journal.events is already counted,
+         and the journal write must not disturb the registry *)
+      write_journal journal;
       write_metrics metrics
     end
   in

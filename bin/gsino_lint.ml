@@ -46,12 +46,20 @@ let errors_only_arg =
   Arg.(value & flag & info [ "e"; "errors-only" ] ~doc)
 
 let lint circuit scale seed rate router budgeting jobs deadline netlist_file
-    kinds pretty max_print errors_only trace profile progress metrics verbose
-    quiet =
-  let claimed = C.claim_stdout ~prog:"gsino_lint" [ trace; profile; metrics ] in
+    kinds pretty max_print errors_only trace profile progress metrics journal
+    verbose quiet =
+  let claimed =
+    C.claim_stdout ~prog:"gsino_lint"
+      [
+        ("trace", trace);
+        ("profile", profile);
+        ("metrics", metrics);
+        ("journal", journal);
+      ]
+  in
   let out = C.out_formatter ~claimed in
-  C.with_obs ~pretty ~prog:"gsino_lint" ~profile ~progress ~trace ~metrics
-    ~verbose ~quiet
+  C.with_obs ~pretty ~prog:"gsino_lint" ~profile ~journal ~progress ~trace
+    ~metrics ~verbose ~quiet
   @@ fun () ->
   let tech = Tech.default in
   let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
@@ -114,6 +122,7 @@ let cmd =
       $ C.rate_arg $ C.router_arg $ C.budgeting_arg $ C.jobs_arg
       $ C.deadline_arg $ netlist_file_arg $ kind_arg $ pretty_arg
       $ max_print_arg $ errors_only_arg $ C.trace_arg $ C.profile_arg
-      $ C.progress_arg $ C.metrics_arg $ C.verbose_arg $ C.quiet_arg)
+      $ C.progress_arg $ C.metrics_arg $ C.journal_arg $ C.verbose_arg
+      $ C.quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

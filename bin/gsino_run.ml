@@ -6,8 +6,9 @@
      table  — dump the LSK -> noise lookup table
      bounds — show the crosstalk budget statistics for a circuit
 
-   The flags shared with the other drivers (--trace/--metrics/--report
-   sinks, -v/-q, --jobs, circuit selection) live in Cli_common. *)
+   The flags shared with the other drivers
+   (--trace/--metrics/--profile/--journal/--report sinks, -v/-q, --jobs,
+   circuit selection) live in Cli_common. *)
 open Cmdliner
 open Gsino
 module Metrics = Eda_obs.Metrics
@@ -21,13 +22,21 @@ let netlist_file_arg =
 
 let run_cmd =
   let run circuit scale seed rate router budgeting jobs deadline audit
-      netlist_file trace profile progress metrics report verbose quiet =
+      netlist_file trace profile progress metrics journal report verbose quiet
+      =
     let claimed =
-      C.claim_stdout ~prog:"gsino_run" [ trace; profile; metrics; report ]
+      C.claim_stdout ~prog:"gsino_run"
+        [
+          ("trace", trace);
+          ("profile", profile);
+          ("metrics", metrics);
+          ("journal", journal);
+          ("report", report);
+        ]
     in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~prog:"gsino_run" ~profile ~progress ~trace ~metrics ~verbose
-      ~quiet
+    C.with_obs ~prog:"gsino_run" ~profile ~journal ~progress ~trace ~metrics
+      ~verbose ~quiet
     @@ fun () ->
     let tech = Tech.default in
     let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
@@ -99,8 +108,8 @@ let run_cmd =
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
           $ C.router_arg $ C.budgeting_arg $ C.jobs_arg $ C.deadline_arg
           $ C.audit_arg $ netlist_file_arg $ C.trace_arg $ C.profile_arg
-          $ C.progress_arg $ C.metrics_arg $ C.report_arg $ C.verbose_arg
-          $ C.quiet_arg)
+          $ C.progress_arg $ C.metrics_arg $ C.journal_arg $ C.report_arg
+          $ C.verbose_arg $ C.quiet_arg)
 
 let map_cmd =
   let run circuit scale seed rate jobs netlist_file =
@@ -141,14 +150,20 @@ let gen_cmd =
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ out_arg)
 
 let suite_cmd =
-  let run scale seed jobs circuits trace profile progress metrics verbose quiet
-      =
+  let run scale seed jobs circuits trace profile progress metrics journal
+      verbose quiet =
     let claimed =
-      C.claim_stdout ~prog:"gsino_run" [ trace; profile; metrics ]
+      C.claim_stdout ~prog:"gsino_run"
+        [
+          ("trace", trace);
+          ("profile", profile);
+          ("metrics", metrics);
+          ("journal", journal);
+        ]
     in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~prog:"gsino_run" ~profile ~progress ~trace ~metrics ~verbose
-      ~quiet
+    C.with_obs ~prog:"gsino_run" ~profile ~journal ~progress ~trace ~metrics
+      ~verbose ~quiet
     @@ fun () ->
     let profiles =
       match circuits with
@@ -169,7 +184,7 @@ let suite_cmd =
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(const run $ C.scale_arg () $ C.seed_arg $ C.jobs_arg $ circuits_arg
           $ C.trace_arg $ C.profile_arg $ C.progress_arg $ C.metrics_arg
-          $ C.verbose_arg $ C.quiet_arg)
+          $ C.journal_arg $ C.verbose_arg $ C.quiet_arg)
 
 let table_cmd =
   let run () =

@@ -1,5 +1,6 @@
 module Metrics = Eda_obs.Metrics
 module Trace = Eda_obs.Trace
+module Journal = Eda_obs.Journal
 
 let default_jobs ?(cap = 8) () =
   max 1 (min (max 1 cap) (Domain.recommended_domain_count ()))
@@ -15,7 +16,7 @@ type job = {
   body : int -> unit;
   mutable failed : (int * exn * Printexc.raw_backtrace) option;
   mutable remaining : int;  (** workers yet to finish this section *)
-  mutable shards : (int * Metrics.snapshot) list;
+  mutable shards : (int * Metrics.snapshot * Journal.event list) list;
   busy_ns : int64 array;
       (** per-slot busy time this section; each slot is written only by
           its own domain, read by the coordinator after the barrier *)
@@ -39,7 +40,11 @@ let jobs t = t.n_jobs
 (* Registered lazily so purely sequential runs export no exec.* series
    at all — jobs=1 output stays byte-identical to the pre-parallel code. *)
 let m_sections = lazy (Metrics.counter "exec.sections")
-let m_section_items = lazy (Metrics.histogram "exec.section_items")
+
+(* one exec.section_items series per section name, so a speedup
+   investigation can attribute granularity per phase *)
+let m_section_items name =
+  Metrics.histogram ~labels:[ ("section", name) ] "exec.section_items"
 
 (* max busy / mean busy across the slots of one section: 1.0 is a
    perfectly balanced section, large values mean one domain dragged *)
@@ -115,11 +120,12 @@ let worker pool slot () =
       let job = Option.get pool.job in
       Mutex.unlock pool.mu;
       steal pool job ~slot ~ctrs;
-      (* ship this domain's metric deltas for the ordered merge *)
+      (* ship this domain's metric + journal deltas for the ordered merge *)
       let shard = Metrics.snapshot () in
       Metrics.reset ();
+      let jshard = Journal.drain () in
       Mutex.lock pool.mu;
-      job.shards <- (slot, shard) :: job.shards;
+      job.shards <- (slot, shard, jshard) :: job.shards;
       job.remaining <- job.remaining - 1;
       if job.remaining = 0 then Condition.broadcast pool.idle;
       Mutex.unlock pool.mu
@@ -165,7 +171,7 @@ let sequential n body =
 
 let default_chunk ~jobs n = max 1 ((n + (jobs * 8) - 1) / (jobs * 8))
 
-let run_range pool ?chunk n body =
+let run_range pool ?(name = "section") ?chunk n body =
   if n <= 0 then ()
   else if
     pool.n_jobs = 1 || pool.busy || (Domain.self () :> int) <> pool.owner
@@ -179,9 +185,10 @@ let run_range pool ?chunk n body =
       | None -> default_chunk ~jobs:pool.n_jobs n
     in
     Metrics.incr (Lazy.force m_sections);
-    Metrics.observe (Lazy.force m_section_items) (float_of_int n);
+    Metrics.observe (m_section_items name) (float_of_int n);
     Trace.span_args "exec.parallel"
       [
+        ("section", name);
         ("items", string_of_int n);
         ("jobs", string_of_int pool.n_jobs);
         ("chunk", string_of_int chunk);
@@ -215,8 +222,10 @@ let run_range pool ?chunk n body =
     Mutex.unlock pool.mu;
     (* deterministic ordered reduction: shards fold back in slot order,
        not completion order *)
-    List.sort (fun (a, _) (b, _) -> compare a b) job.shards
-    |> List.iter (fun (_, shard) -> Metrics.absorb shard);
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) job.shards
+    |> List.iter (fun (_, shard, jshard) ->
+           Metrics.absorb shard;
+           Journal.absorb jshard);
     (let sum =
        Array.fold_left (fun s b -> s +. Int64.to_float b) 0.0 job.busy_ns
      in
@@ -228,12 +237,12 @@ let run_range pool ?chunk n body =
     | None -> ()
   end
 
-let parallel_iter ?pool ?chunk n body =
+let parallel_iter ?pool ?name ?chunk n body =
   match pool with
   | None -> sequential n body
-  | Some p -> run_range p ?chunk n body
+  | Some p -> run_range p ?name ?chunk n body
 
-let parallel_map ?pool ?chunk n f =
+let parallel_map ?pool ?name ?chunk n f =
   match pool with
   | None -> Array.init n f
   | Some p when p.n_jobs = 1 -> Array.init n f
@@ -241,7 +250,7 @@ let parallel_map ?pool ?chunk n f =
       if n <= 0 then [||]
       else begin
         let out = Array.make n None in
-        run_range p ?chunk n (fun i -> out.(i) <- Some (f i));
+        run_range p ?name ?chunk n (fun i -> out.(i) <- Some (f i));
         Array.map
           (function
             | Some v -> v
@@ -252,5 +261,5 @@ let parallel_map ?pool ?chunk n f =
           out
       end
 
-let map_array ?pool ?chunk f arr =
-  parallel_map ?pool ?chunk (Array.length arr) (fun i -> f arr.(i))
+let map_array ?pool ?name ?chunk f arr =
+  parallel_map ?pool ?name ?chunk (Array.length arr) (fun i -> f arr.(i))

@@ -11,12 +11,14 @@
       [i] of the output array regardless of which domain computed it or
       when it finished, so the merged result is identical to the
       sequential one.
-    - {b Sharded metrics.}  Workers record into their own
-      {!Eda_obs.Metrics} domain shard; at the end of each parallel
-      section the shards are folded back into the coordinator's registry
-      with [Metrics.absorb], in worker-index order.  Counter and
-      histogram series therefore come out the same for any [jobs] value
-      (only the [exec.*] per-domain series vary).
+    - {b Sharded metrics and journal.}  Workers record into their own
+      {!Eda_obs.Metrics} and {!Eda_obs.Journal} domain shards; at the end
+      of each parallel section the shards are folded back into the
+      coordinator's registry with [Metrics.absorb] / [Journal.absorb], in
+      worker-index order.  Counter and histogram series — and the
+      canonically-sorted journal — therefore come out the same for any
+      [jobs] value (only the [exec.*] per-domain series and the [_us]
+      journal timings vary).
     - {b Sequential bypass.}  With no pool, or a pool created with
       [jobs = 1], no domain is ever spawned and no [exec.*] metric or
       span is emitted: the call degenerates to a plain loop, so
@@ -29,8 +31,9 @@
     usable afterwards.
 
     Instrumentation (parallel sections only): an [exec.parallel] trace
-    span with [items]/[jobs]/[chunk] args on the coordinator; the
-    [exec.sections] counter, [exec.section_items] histogram, and
+    span with [section]/[items]/[jobs]/[chunk] args on the coordinator;
+    the [exec.sections] counter, per-section-name [exec.section_items]
+    histograms (labeled [("section", name)]), and
     [exec.imbalance] histogram (max busy / mean busy across a section's
     domains — 1.0 is perfect balance); and per-domain counters labeled
     [("domain", "<slot>")] (slot 0 is the coordinator, which also
@@ -64,22 +67,27 @@ val with_pool : jobs:int -> (t -> 'a) -> 'a
 (** [with_pool ~jobs f] — {!create}, run [f], {!shutdown} (also on
     exception). *)
 
-val parallel_iter : ?pool:t -> ?chunk:int -> int -> (int -> unit) -> unit
-(** [parallel_iter ?pool ?chunk n body] — run [body i] for
+val parallel_iter :
+  ?pool:t -> ?name:string -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_iter ?pool ?name ?chunk n body] — run [body i] for
     [i = 0..n-1].  Without a pool (or with [jobs pool = 1]) this is a
     plain ascending loop on the calling domain.  With a pool, indices
     are handed out in chunks of [chunk] (default [ceil (n / (jobs * 8))])
-    through an atomic cursor that idle domains steal from.  [body] must
-    not mutate state shared across iterations — writes must go to
-    per-index slots or domain-local (e.g. Metrics) cells.
+    through an atomic cursor that idle domains steal from.  [name]
+    (default ["section"]) labels the section's [exec.section_items]
+    series and trace span.  [body] must not mutate state shared across
+    iterations — writes must go to per-index slots or domain-local
+    (e.g. Metrics / Journal) cells.
 
     Nested sections, and sections entered from a domain other than the
     pool's creator, run sequentially rather than deadlocking. *)
 
-val parallel_map : ?pool:t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
-(** [parallel_map ?pool ?chunk n f] — [[| f 0; ...; f (n-1) |]] with the
-    work distributed as in {!parallel_iter} and results placed in index
-    order (deterministic ordered reduction). *)
+val parallel_map :
+  ?pool:t -> ?name:string -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_map ?pool ?name ?chunk n f] — [[| f 0; ...; f (n-1) |]]
+    with the work distributed as in {!parallel_iter} and results placed
+    in index order (deterministic ordered reduction). *)
 
-val map_array : ?pool:t -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?pool:t -> ?name:string -> ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_array ?pool f arr] — {!parallel_map} over [arr]'s indices. *)

@@ -14,6 +14,13 @@ let record t =
   Metrics.incr m_partitions;
   Metrics.set g_lsk t.lsk_budget;
   Array.iter (fun k -> Metrics.observe h_kth k) t.kth;
+  if Eda_obs.Journal.enabled () then
+    Array.iteri
+      (fun i k ->
+        Eda_obs.Journal.record "net.budget"
+          [ ("net", string_of_int i) ]
+          ~data:[ ("kth", k) ])
+      t.kth;
   t
 
 let uniform ~lsk ~noise_v ~gcell_um netlist =

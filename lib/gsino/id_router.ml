@@ -20,6 +20,8 @@ let m_direct_nets = Metrics.counter "id_router.direct_nets"
 let m_overflowed = Metrics.counter "id_router.overflowed_regions"
 let h_candidates = Metrics.histogram "id_router.candidate_edges"
 
+module Journal = Eda_obs.Journal
+
 type weights = { alpha : float; beta : float; gamma : float }
 
 let default_weights = { alpha = 2.0; beta = 1.0; gamma = 50.0 }
@@ -290,9 +292,22 @@ let route ~grid ~netlist ?(weights = default_weights)
      the net, so it fans out over the pool; the shared occupancy
      accounting is then replayed sequentially in net order, making the
      initial demand state identical to the single-domain code. *)
+  (* Journal attribution: the deletion loop runs millions of iterations,
+     so per-entity counts accumulate in flat arrays (two increments per
+     event when enabled, nothing when not) and fold into one net.route /
+     region.reweight event per entity after the loop — never one journal
+     event per reweight. *)
+  let jnl = Journal.enabled () in
+  let n_nets = Array.length nets in
+  let net_pops = if jnl then Array.make n_nets 0 else [||] in
+  let net_deletions = if jnl then Array.make n_nets 0 else [||] in
+  let net_reweights = if jnl then Array.make n_nets 0 else [||] in
+  let net_essential = if jnl then Array.make n_nets 0 else [||] in
+  let region_rw_h = if jnl then Array.make n_regions 0 else [||] in
+  let region_rw_v = if jnl then Array.make n_regions 0 else [||] in
   let direct = Hashtbl.create 16 in
   let preps =
-    Eda_exec.map_array ?pool
+    Eda_exec.map_array ?pool ~name:"route.candidates"
       (fun net ->
         let bounds = Rect.make 0 0 (Grid.width grid - 1) (Grid.height grid - 1) in
         let bbox = Rect.clip (Rect.expand (Net.bbox net) bbox_expand) ~within:bounds in
@@ -360,6 +375,7 @@ let route ~grid ~netlist ?(weights = default_weights)
        so the heartbeat reports a bare iteration count *)
     Eda_obs.Progress.tick ~items_done:!iters ();
     let w_old, (i, e) = Heap.pop_max heap in
+    if jnl then net_pops.(i) <- net_pops.(i) + 1;
     match states.(i) with
     | None -> ()
     | Some st -> (
@@ -370,18 +386,32 @@ let route ~grid ~netlist ?(weights = default_weights)
             let w_cur = weight_of st e in
             if w_cur < w_old -. 1e-9 then begin
               Metrics.incr m_reweights;
+              if jnl then begin
+                net_reweights.(i) <- net_reweights.(i) + 1;
+                let rw =
+                  match Grid.edge_dir grid e with
+                  | Dir.H -> region_rw_h
+                  | Dir.V -> region_rw_v
+                in
+                let a, b = Grid.edge_ends grid e in
+                let ra = Grid.region_id grid a and rb = Grid.region_id grid b in
+                rw.(ra) <- rw.(ra) + 1;
+                if rb <> ra then rw.(rb) <- rw.(rb) + 1
+              end;
               Heap.push heap w_cur (i, e)
             end
             else begin
               incr stamp;
               if connected_without grid st ~mark ~stamp:!stamp ~skip:e then begin
                 Metrics.incr m_deletions;
+                if jnl then net_deletions.(i) <- net_deletions.(i) + 1;
                 Hashtbl.remove st.alive e;
                 account e (-1);
                 member_bump st e (-1)
               end
               else begin
                 Metrics.incr m_essential;
+                if jnl then net_essential.(i) <- net_essential.(i) + 1;
                 essential := true
               end
             end)
@@ -397,6 +427,38 @@ let route ~grid ~netlist ?(weights = default_weights)
         if hu > cap then Metrics.incr m_overflowed
       done)
     Dir.all;
+  if jnl then begin
+    Array.iteri
+      (fun i net ->
+        let outcome =
+          if Hashtbl.mem direct net.Net.id then "direct"
+          else match states.(i) with None -> "empty" | Some _ -> "routed"
+        in
+        Journal.record "net.route"
+          [ ("net", string_of_int net.Net.id) ]
+          ~data:
+            [
+              ("pops", float_of_int net_pops.(i));
+              ("deletions", float_of_int net_deletions.(i));
+              ("reweights", float_of_int net_reweights.(i));
+              ("essential", float_of_int net_essential.(i));
+            ]
+          ~outcome)
+      nets;
+    List.iter
+      (fun dir ->
+        let rw =
+          match dir with Dir.H -> region_rw_h | Dir.V -> region_rw_v
+        in
+        Array.iteri
+          (fun r n ->
+            if n > 0 then
+              Journal.record "region.reweight"
+                [ ("region", string_of_int r); ("dir", Dir.to_string dir) ]
+                ~data:[ ("reweights", float_of_int n) ])
+          rw)
+      Dir.all
+  end;
   (* Safety prune (the deletion loop already leaves a Steiner tree; this
      guards against floating-point ties) and route construction. *)
   Array.mapi

@@ -58,7 +58,9 @@ let audit ?pool ~grid ~gcell_um ~phase2 ~lsk_model ~netlist ~routes ~bound_v () 
   (* per-net noise walks are read-only over phase2/routes — fan out, then
      rebuild the historical descending-net-id list so the stable sort
      breaks noise ties exactly as the sequential code always has *)
-  let entries = Eda_exec.parallel_map ?pool (Array.length nets) entry in
+  let entries =
+    Eda_exec.parallel_map ?pool ~name:"noise.scan" (Array.length nets) entry
+  in
   let out = Array.fold_left (fun acc e -> e :: acc) [] entries in
   List.sort (fun a b -> compare b.noise_v a.noise_v) out
 

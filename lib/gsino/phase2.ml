@@ -11,6 +11,8 @@ module Keff = Eda_sino.Keff
 module Rng = Eda_util.Rng
 module Metrics = Eda_obs.Metrics
 module Trace = Eda_obs.Trace
+module Journal = Eda_obs.Journal
+module Clock = Eda_obs.Clock
 
 (* Phase II telemetry: one panel per occupied (region, direction) *)
 let m_panels_h = Metrics.counter ~labels:[ ("dir", "H") ] "phase2.panels"
@@ -26,6 +28,26 @@ let m_resolves = Metrics.counter "phase2.resolves"
 let c_retries () = Metrics.counter "guard.retries"
 let c_fallbacks () = Metrics.counter "guard.fallbacks"
 let c_infeasible () = Metrics.counter "phase2.infeasible_panels"
+
+(* Panel-signature recurrence — sizes the ROADMAP content-addressed panel
+   cache before it exists.  Every SINO instance this module solves or
+   re-solves is fingerprinted with Instance.signature; the per-flow seen
+   set (scoped to [t], guarded for worker domains) splits them into
+   first-sights and repeats.  The split is a set property, so the counts
+   are identical for any jobs value. *)
+let m_sig_unique () = Metrics.counter "sino.panel_sig_unique"
+let m_sig_dups () = Metrics.counter "sino.panel_sig_dups"
+let c_moves_acc () = Metrics.counter "sino.moves_accepted"
+let c_moves_rej () = Metrics.counter "sino.moves_rejected"
+
+let note_signature ~sigs ~mu sg =
+  let seen =
+    Mutex.protect mu (fun () ->
+        Hashtbl.mem sigs sg
+        || (Hashtbl.add sigs sg ();
+            false))
+  in
+  Metrics.incr (if seen then m_sig_dups () else m_sig_unique ())
 
 type key = int * Dir.t
 
@@ -44,6 +66,8 @@ type t = {
   keff : Keff.params;
   table : (key, soln) Hashtbl.t;
   net_regions : (int, key list) Hashtbl.t;
+  sigs : (string, unit) Hashtbl.t;  (** signatures seen this flow *)
+  sig_mu : Mutex.t;
 }
 
 let grid t = t.grid
@@ -101,7 +125,12 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
     Hashtbl.fold (fun key nets acc -> (key, nets) :: acc) members []
     |> List.sort compare |> Array.of_list
   in
+  let sigs : (string, unit) Hashtbl.t = Hashtbl.create 256 in
+  let sig_mu = Mutex.create () in
   let solve_panel (((r, d) as _key), nets) =
+    let t0 = Clock.now_ns () in
+    let acc0 = Metrics.counter_value (c_moves_acc ())
+    and rej0 = Metrics.counter_value (c_moves_rej ()) in
     let nets = Array.of_list (List.sort_uniq compare nets) in
     let kth_arr = Array.map kth nets in
     let inst =
@@ -178,7 +207,37 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
     Metrics.incr (match d with Dir.H -> m_panels_h | Dir.V -> m_panels_v);
     Metrics.observe h_panel_nets (float_of_int (Array.length nets));
     Metrics.add m_shields (Layout.num_shields layout);
-    soln_of_layout ~keff ~degraded inst layout
+    let sg = Instance.signature inst in
+    note_signature ~sigs ~mu:sig_mu sg;
+    let soln = soln_of_layout ~keff ~degraded inst layout in
+    if Journal.enabled () then begin
+      (* the whole panel solve ran on this domain, so the move deltas of
+         this domain's sino.* counter cells are exactly this panel's *)
+      let time_us = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e3 in
+      let acc = Metrics.counter_value (c_moves_acc ()) - acc0
+      and rej = Metrics.counter_value (c_moves_rej ()) - rej0 in
+      Journal.record "panel.solve"
+        [
+          ("region", string_of_int r);
+          ("dir", Dir.to_string d);
+          ("sig", sg);
+          ( "members",
+            String.concat "," (Array.to_list (Array.map string_of_int nets)) );
+        ]
+        ~data:
+          [
+            ("nets", float_of_int (Array.length nets));
+            ("time_us", time_us);
+            ("moves_accepted", float_of_int acc);
+            ("moves_rejected", float_of_int rej);
+            ("shields", float_of_int (Layout.num_shields layout));
+          ]
+        ~outcome:
+          (if not soln.feasible then "infeasible"
+           else if degraded then "degraded"
+           else "feasible")
+    end;
+    soln
   in
   (* all domains bump the shared done-counter; only the coordinator's
      ticks reach the heartbeat (Progress is single-writer), so the line
@@ -191,7 +250,13 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
       ~items_done:(Atomic.get done_) ();
     s
   in
-  let solns = Eda_exec.map_array ?pool solve_panel panels in
+  (* a tight span around just the panel fan-out: the journal's summed
+     panel.solve time_us must reconcile with this span (the enclosing
+     phase2.solve span also carries worklist construction) *)
+  let solns =
+    Trace.span "phase2.panels" @@ fun () ->
+    Eda_exec.map_array ?pool ~name:"phase2.panels" solve_panel panels
+  in
   let table = Hashtbl.create (Array.length panels) in
   Array.iteri (fun i soln -> Hashtbl.replace table (fst panels.(i)) soln) solns;
   (if Eda_guard.Deadline.expired deadline then
@@ -203,7 +268,7 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
       in
       if n > 0 then Metrics.add (c_infeasible ()) n
   | Order_only -> ());
-  { grid; keff; table; net_regions }
+  { grid; keff; table; net_regions; sigs; sig_mu }
 
 let find t key = Hashtbl.find_opt t.table key
 
@@ -220,7 +285,10 @@ let total_shields t =
 
 let replace t key soln = Hashtbl.replace t.table key soln
 
-let resolve ?(deadline = Eda_guard.Deadline.none) t key inst rng =
+let resolve ?(deadline = Eda_guard.Deadline.none) ?net ?pass t key inst rng =
+  let t0 = Clock.now_ns () in
+  let acc0 = Metrics.counter_value (c_moves_acc ())
+  and rej0 = Metrics.counter_value (c_moves_rej ()) in
   Metrics.incr m_resolves;
   Eda_guard.Fault.point "refine.resolve";
   (* warm-start from the current layout when the instance is the same net
@@ -237,7 +305,36 @@ let resolve ?(deadline = Eda_guard.Deadline.none) t key inst rng =
     | Some s when same_nets s -> Solver.repair ~params:t.keff ~deadline inst s.layout
     | Some _ | None -> Solver.min_area ~params:t.keff ~deadline rng inst
   in
-  soln_of_layout ~keff:t.keff inst layout
+  let sg = Instance.signature inst in
+  note_signature ~sigs:t.sigs ~mu:t.sig_mu sg;
+  let soln = soln_of_layout ~keff:t.keff inst layout in
+  if Journal.enabled () then begin
+    let r, d = key in
+    let time_us = Int64.to_float (Int64.sub (Clock.now_ns ()) t0) /. 1e3 in
+    let moves =
+      Metrics.counter_value (c_moves_acc ())
+      - acc0
+      + (Metrics.counter_value (c_moves_rej ()) - rej0)
+    in
+    Journal.record "panel.resolve"
+      ([
+         ("region", string_of_int r);
+         ("dir", Dir.to_string d);
+         ("sig", sg);
+       ]
+      @ (match net with
+        | Some n -> [ ("net", string_of_int n) ]
+        | None -> [])
+      @ match pass with Some p -> [ ("pass", p) ] | None -> [])
+      ~data:
+        [
+          ("time_us", time_us);
+          ("moves", float_of_int moves);
+          ("shields", float_of_int (Layout.num_shields layout));
+        ]
+      ~outcome:(if soln.feasible then "feasible" else "infeasible")
+  end;
+  soln
 
 let feasible t key =
   match find t key with None -> true | Some s -> s.feasible

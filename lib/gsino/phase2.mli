@@ -75,9 +75,13 @@ val replace : t -> key -> soln -> unit
 (** [resolve t key inst rng] — re-run min-area SINO on a (possibly
     re-bounded) instance and build the [soln] record.  [refine.resolve]
     is a fault-injection site; an expired [deadline] degrades to the
-    cheap repair stages only. *)
+    cheap repair stages only.  [?net] and [?pass] attribute the resulting
+    [panel.resolve] journal event to the net and refinement pass that
+    asked for the re-solve. *)
 val resolve :
   ?deadline:Eda_guard.Deadline.t ->
+  ?net:int ->
+  ?pass:string ->
   t ->
   key ->
   Eda_sino.Instance.t ->

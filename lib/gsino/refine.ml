@@ -78,6 +78,7 @@ let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
     | (i, _) :: _ ->
         let net = netlist.Netlist.nets.(i) in
         let route = routes.(i) in
+        let resolves0 = !resolves in
         let lsk_budget = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
         let n_keys = List.length (Phase2.regions_of_net phase2 i) in
         let inner_guard = ref (4 * max 10 n_keys) in
@@ -143,7 +144,8 @@ let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
                             in
                             let inst' = Instance.with_kth soln.Phase2.inst li target in
                             let soln' =
-                              Phase2.resolve ~deadline phase2 key inst' (Rng.split rng)
+                              Phase2.resolve ~deadline ~net:i ~pass:"pass1"
+                                phase2 key inst' (Rng.split rng)
                             in
                             incr resolves;
                             Metrics.incr m_resolves;
@@ -159,9 +161,15 @@ let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
             try_keys keys
           end
         done;
-        if net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route <= bound_v +. 1e-12
-        then incr fixes
-        else Hashtbl.replace given_up i ()
+        let ok =
+          net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route
+          <= bound_v +. 1e-12
+        in
+        if ok then incr fixes else Hashtbl.replace given_up i ();
+        Eda_obs.Journal.record "net.refine"
+          [ ("net", string_of_int i); ("pass", "pass1") ]
+          ~data:[ ("resolves", float_of_int (!resolves - resolves0)) ]
+          ~outcome:(if ok then "fixed" else "gave_up")
   done;
   (!fixes, !resolves)
 
@@ -242,7 +250,9 @@ let pass2 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
                     in
                     let inst' = Instance.with_kth inst_cur li new_kth in
                     let soln' =
-                      Phase2.resolve ~deadline phase2 key inst' (Rng.split rng)
+                      Phase2.resolve ~deadline
+                        ~net:(Instance.net_id inst_cur li)
+                        ~pass:"pass2" phase2 key inst' (Rng.split rng)
                     in
                     incr resolves;
                     Metrics.incr m_resolves;
@@ -260,7 +270,8 @@ let pass2 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
                 Phase2.replace phase2 key soln';
                 sync_shields usage key soln';
                 let ok =
-                  Eda_exec.parallel_map ?pool n (fun li ->
+                  Eda_exec.parallel_map ?pool ~name:"refine.region_check" n
+                    (fun li ->
                       let gid = Instance.net_id inst li in
                       net_noise ~grid ~gcell_um ~phase2 ~lsk_model
                         netlist.Netlist.nets.(gid) routes.(gid)

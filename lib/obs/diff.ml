@@ -391,11 +391,16 @@ module History = struct
     |> List.sort (fun a b -> compare a.name b.name)
 
   let pp_trend fmt t =
+    (* drift needs two snapshots and a finite, non-zero start: a
+       single-snapshot history (bench's first run) or a NaN/inf series
+       must render "n/a", never NaN% or a division by zero *)
     let rel =
-      if t.first = 0.0 then "    n/a"
+      if t.n < 2 || t.first = 0.0 || not (Float.is_finite t.first) then
+        "    n/a"
       else
-        Printf.sprintf "%+6.1f%%"
-          (100.0 *. ((t.last -. t.first) /. Float.abs t.first))
+        let pct = 100.0 *. ((t.last -. t.first) /. Float.abs t.first) in
+        if Float.is_finite pct then Printf.sprintf "%+6.1f%%" pct
+        else "    n/a"
     in
     Format.fprintf fmt "%-44s %3d %14g %14g %s %14g %14g" t.name t.n t.first
       t.last rel t.lo t.hi

@@ -146,6 +146,72 @@ let html ?(tech = Tech.default) ?(title = "GSINO run report") ~snapshot
         rows;
       add "</tbody>\n</table>\n");
 
+  (* attribution drill-down, present only when --journal was on — the
+     same folds gsino_explain performs, inlined for the report *)
+  (match Eda_obs.Journal.events () with
+  | [] -> ()
+  | evs ->
+      let module J = Eda_obs.Journal in
+      let top_k = 5 in
+      add "<h2>Top offenders</h2>\n";
+      let dups = Metrics.counter_total snapshot "sino.panel_sig_dups"
+      and uniq = Metrics.counter_total snapshot "sino.panel_sig_unique" in
+      addf
+        "<p class=\"sub\">%d journal events; panel signatures: %d unique, %d \
+         duplicate solve(s) (%.1f%% cacheable)</p>\n"
+        (List.length evs) uniq dups
+        (if dups + uniq > 0 then
+           100.0 *. float_of_int dups /. float_of_int (dups + uniq)
+         else 0.0);
+      let nets =
+        J.Agg.top ~by:"reweights" ~k:top_k
+          (J.Agg.by_dim "net"
+             (List.filter (fun (e : J.event) -> e.J.ev = "net.route") evs))
+      in
+      if nets <> [] then begin
+        add "<h3>Nets by route churn</h3>\n";
+        add
+          "<table>\n<thead><tr><th class=\"l\">net</th><th>reweights</th><th>pops</th><th>deletions</th></tr></thead>\n<tbody>\n";
+        List.iter
+          (fun row ->
+            addf
+              "<tr><td class=\"l\">%s</td><td>%.0f</td><td>%.0f</td><td>%.0f</td></tr>\n"
+              (esc row.J.Agg.key)
+              (J.Agg.datum row "reweights")
+              (J.Agg.datum row "pops")
+              (J.Agg.datum row "deletions"))
+          nets;
+        add "</tbody>\n</table>\n"
+      end;
+      let panels =
+        List.filter_map
+          (fun (e : J.event) ->
+            if e.J.ev = "panel.solve" || e.J.ev = "panel.resolve" then
+              match (J.dim_value e "region", J.dim_value e "dir") with
+              | Some rg, Some d ->
+                  Some { e with J.dim = ("panel", rg ^ "/" ^ d) :: e.J.dim }
+              | (Some _ | None), _ -> None
+            else None)
+          evs
+      in
+      let hot = J.Agg.top ~by:"time_us" ~k:top_k (J.Agg.by_dim "panel" panels) in
+      if hot <> [] then begin
+        add "<h3>Panels by SINO time</h3>\n";
+        add
+          "<table>\n<thead><tr><th class=\"l\">panel (region/dir)</th><th>time \
+           (ms)</th><th>events</th><th>shields</th></tr></thead>\n<tbody>\n";
+        List.iter
+          (fun row ->
+            addf
+              "<tr><td class=\"l\">%s</td><td>%.2f</td><td>%d</td><td>%.0f</td></tr>\n"
+              (esc row.J.Agg.key)
+              (J.Agg.datum row "time_us" /. 1e3)
+              row.J.Agg.count
+              (J.Agg.datum row "shields"))
+          hot;
+        add "</tbody>\n</table>\n"
+      end);
+
   (* congestion + shield heatmaps, one pair per routing direction,
      preceded by the pre-route predicted demand so prediction quality is
      visible at a glance *)

@@ -43,6 +43,84 @@ let sensitivity t i =
 
 let sensitivities t = Array.init (size t) (sensitivity t)
 
+(* ---------------------- canonical panel signature ---------------------
+   The content-address the ROADMAP panel cache will be keyed by: net
+   count + sensitivity matrix up to permutation + bucketed Kth bounds.
+   Canonicalisation is one-dimensional Weisfeiler-Leman colour
+   refinement — initial colours are (Kth bucket, degree), refined by the
+   sorted multiset of neighbour colours — and the digest folds the size,
+   the sorted final colours and the sorted edge colour pairs, all
+   permutation-invariant.  WL is not a perfect graph canonical form, but
+   a collision needs WL-indistinguishable non-isomorphic panels AND an
+   FNV clash; a cache would verify on hit anyway. *)
+
+(* FNV-1a, 64-bit: self-contained and stable across OCaml versions
+   (Hashtbl.hash is ~30-bit — useless at 100k-panel scale). *)
+let fnv_basis = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv_int h x =
+  let h = ref h and x = ref (Int64.of_int x) in
+  for _ = 1 to 8 do
+    let b = Int64.logand !x 0xFFL in
+    h := Int64.mul (Int64.logxor !h b) fnv_prime;
+    x := Int64.shift_right_logical !x 8
+  done;
+  !h
+
+let to_color h = Int64.to_int h land max_int
+
+(* ~7 buckets per 2x: a tightened bound moves buckets, a float wobble
+   below ~5% does not — matching how Phase III steps bounds *)
+let kth_bucket v =
+  if (not (Float.is_finite v)) || v <= 0.0 then min_int / 2
+  else int_of_float (Float.round (log v /. log 1.1))
+
+let signature t =
+  let n = size t in
+  let color =
+    Array.init n (fun i ->
+        let deg = ref 0 in
+        for j = 0 to n - 1 do
+          if t.sens.(i).(j) then incr deg
+        done;
+        to_color (fnv_int (fnv_int fnv_basis (kth_bucket t.kth.(i))) !deg))
+  in
+  let next = Array.make n 0 in
+  for _ = 1 to min 8 n do
+    for i = 0 to n - 1 do
+      let neigh = ref [] in
+      for j = 0 to n - 1 do
+        if t.sens.(i).(j) then neigh := color.(j) :: !neigh
+      done;
+      next.(i) <-
+        to_color
+          (List.fold_left fnv_int
+             (fnv_int fnv_basis color.(i))
+             (List.sort compare !neigh))
+    done;
+    Array.blit next 0 color 0 n
+  done;
+  let sorted_colors = Array.copy color in
+  Array.sort compare sorted_colors;
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if t.sens.(i).(j) then
+        edges :=
+          (min color.(i) color.(j), max color.(i) color.(j)) :: !edges
+    done
+  done;
+  let h = fnv_int fnv_basis n in
+  let h = Array.fold_left fnv_int h sorted_colors in
+  let h =
+    List.fold_left
+      (fun h (a, b) -> fnv_int (fnv_int h a) b)
+      h
+      (List.sort compare !edges)
+  in
+  Printf.sprintf "%016Lx" h
+
 let pp fmt t =
   Format.fprintf fmt "sino-instance(%d nets, mean S=%.2f)" (size t)
     (if size t = 0 then 0.0

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CLI exit-code contract test for the four gsino drivers.
+# CLI exit-code contract test for the five gsino drivers.
 #
 # Exercises every failure class reachable from a command line and
 # asserts the documented exit status (see README "Failure modes &
@@ -21,6 +21,7 @@ POLICY=$(realpath "$4")
 BASELINE=$(realpath "$5")
 AUDIT=$(realpath "$6")
 FIXTURE=$(realpath "$7")
+EXPLAIN=$(realpath "$8")
 
 work=$(mktemp -d)
 trap 'rm -rf "$work"' EXIT
@@ -51,7 +52,7 @@ expect() {
 expect_stderr() {
   local pat
   for pat in "$@"; do
-    if ! grep -q "$pat" stderr.log; then
+    if ! grep -q -- "$pat" stderr.log; then
       echo "FAIL stderr missing '$pat'"
       sed 's/^/  stderr: /' stderr.log
       failures=$((failures + 1))
@@ -105,6 +106,33 @@ expect 2 "malformed GSINO_FAULTS spec" -- \
   env GSINO_FAULTS="bogus" "$RUN" run "${base[@]}"
 expect_stderr "GSINO_FAULTS"
 expect 2 "gsino_diff missing snapshot" -- "$DIFF" missing.json clean.json
+# two artifact sinks may not both claim stdout: one coded usage error,
+# exit 2, before any work starts
+expect 2 "conflicting stdout sinks (GSL0029)" -- \
+  "$RUN" run "${base[@]}" --metrics - --trace -
+expect_stderr "GSL0029" "--trace" "--metrics"
+expect 2 "conflicting stdout sinks journal+report (GSL0029)" -- \
+  "$RUN" run "${base[@]}" --journal - --report -
+expect_stderr "GSL0029" "--journal" "--report"
+
+# ---- journal + explain round trip ----
+expect 0 "gsino_run --journal" -- "$RUN" run "${base[@]}" --jobs 2 \
+  --journal j.jsonl
+if [ ! -s j.jsonl ]; then
+  echo "FAIL --journal wrote no events"
+  failures=$((failures + 1))
+fi
+expect 0 "gsino_explain default views" -- "$EXPLAIN" j.jsonl --top 3
+expect_stdout "net.route" "panel.solve" "Top 3 nets by route churn" \
+  "Panel signatures"
+expect 0 "gsino_explain --by-signature" -- "$EXPLAIN" j.jsonl --by-signature
+expect_stdout "unique"
+expect 0 "gsino_explain --net provenance" -- "$EXPLAIN" j.jsonl --net 0
+expect_stdout "Provenance of net 0" "net.budget" "net.route"
+expect 2 "gsino_explain missing journal" -- "$EXPLAIN" missing.jsonl
+printf '{"schema":"gsino-journal-v0"}\n' >old.jsonl
+expect 2 "gsino_explain unsupported schema" -- "$EXPLAIN" old.jsonl
+expect_stderr "unsupported schema"
 
 # ---- exit 5: injected internal failures (GSL0022) ----
 printf 'gsino-netlist v1\nname tiny\ngrid 4 4 10\nnet 0 0 0 1 1\n' >tiny.nl

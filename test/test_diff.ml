@@ -336,6 +336,38 @@ let test_history_load_and_trends () =
       | None -> Alcotest.fail "trend for once missing");
   Sys.remove path
 
+let test_history_single_snapshot () =
+  (* bench's very first run appends exactly one snapshot: --history must
+     render first/last and an "n/a" drift, never +0.0%, NaN or a
+     division by zero *)
+  let path = history_file [ history_line 1000 [ ("m", [], 5) ] ] in
+  (match Diff.History.load path with
+  | Error msg -> Alcotest.failf "load: %s" msg
+  | Ok entries ->
+      let trends = Diff.History.trends entries in
+      let t = List.find (fun t -> t.Diff.History.name = "m") trends in
+      Alcotest.(check int) "one snapshot" 1 t.Diff.History.n;
+      let line = Format.asprintf "%a" Diff.History.pp_trend t in
+      Alcotest.(check bool) "drift renders n/a" true (contains ~sub:"n/a" line);
+      Alcotest.(check bool) "no percentage printed" false
+        (contains ~sub:"%" line));
+  Sys.remove path;
+  (* a non-finite series start must not leak NaN% into the drift column *)
+  let t =
+    {
+      Diff.History.name = "x";
+      n = 3;
+      first = Float.nan;
+      last = 2.0;
+      lo = 1.0;
+      hi = 2.0;
+    }
+  in
+  let line = Format.asprintf "%a" Diff.History.pp_trend t in
+  Alcotest.(check bool) "nan first renders n/a" true (contains ~sub:"n/a" line);
+  Alcotest.(check bool) "nan first prints no percentage" false
+    (contains ~sub:"%" line)
+
 let test_history_rejects_malformed () =
   let path =
     history_file [ history_line 1000 [ ("m", [], 1) ]; "{not json" ]
@@ -379,6 +411,8 @@ let suites =
           test_policy_exclude_parse_and_filter;
         Alcotest.test_case "history load + trends" `Quick
           test_history_load_and_trends;
+        Alcotest.test_case "history single snapshot" `Quick
+          test_history_single_snapshot;
         Alcotest.test_case "history rejects malformed" `Quick
           test_history_rejects_malformed;
       ] );

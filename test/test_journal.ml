@@ -1,0 +1,214 @@
+(* Unit tests for Eda_obs.Journal: recording gate, dim/data key
+   normalisation, the worker drain -> coordinator absorb contract, the
+   canonical (ev, dim) export sort, JSONL round-trip with the schema
+   header, loader error reporting, and the Agg folds gsino_explain is
+   built on. *)
+module Journal = Eda_obs.Journal
+
+let with_journal f =
+  Journal.disable ();
+  Journal.enable ();
+  Fun.protect ~finally:Journal.disable f
+
+let ev_t : Journal.event Alcotest.testable =
+  Alcotest.testable
+    (fun fmt (e : Journal.event) ->
+      Format.fprintf fmt "%s dim=[%s] data=[%s] outcome=%s" e.Journal.ev
+        (String.concat ";"
+           (List.map (fun (k, v) -> k ^ "=" ^ v) e.Journal.dim))
+        (String.concat ";"
+           (List.map
+              (fun (k, v) -> Printf.sprintf "%s=%g" k v)
+              e.Journal.data))
+        (Option.value e.Journal.outcome ~default:"-"))
+    ( = )
+
+let test_disabled_is_noop () =
+  Journal.disable ();
+  Journal.record "net.route" [ ("net", "1") ];
+  Alcotest.(check bool) "off" false (Journal.enabled ());
+  Alcotest.(check (list ev_t)) "nothing buffered" [] (Journal.events ())
+
+let test_record_normalises_keys () =
+  with_journal @@ fun () ->
+  Journal.record "panel.solve"
+    [ ("sig", "ab"); ("dir", "H"); ("region", "3") ]
+    ~data:[ ("time_us", 5.0); ("nets", 2.0) ]
+    ~outcome:"feasible";
+  match Journal.events () with
+  | [ e ] ->
+      Alcotest.(check (list (pair string string)))
+        "dim sorted"
+        [ ("dir", "H"); ("region", "3"); ("sig", "ab") ]
+        e.Journal.dim;
+      Alcotest.(check (list string))
+        "data sorted" [ "nets"; "time_us" ]
+        (List.map fst e.Journal.data);
+      Alcotest.(check (option string))
+        "outcome" (Some "feasible") e.Journal.outcome
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+
+let test_duplicate_dim_key_rejected () =
+  with_journal @@ fun () ->
+  Alcotest.check_raises "dup dim"
+    (Invalid_argument "Journal: duplicate dim key") (fun () ->
+      Journal.record "x" [ ("net", "1"); ("net", "2") ])
+
+let test_canonical_sort () =
+  with_journal @@ fun () ->
+  Journal.record "net.route" [ ("net", "9") ];
+  Journal.record "net.budget" [ ("net", "2") ];
+  Journal.record "net.budget" [ ("net", "1") ];
+  Alcotest.(check (list string))
+    "sorted by (ev, dim)"
+    [ "net.budget/1"; "net.budget/2"; "net.route/9" ]
+    (List.map
+       (fun (e : Journal.event) ->
+         e.Journal.ev ^ "/" ^ Option.get (Journal.dim_value e "net"))
+       (Journal.events ()))
+
+let test_drain_absorb_round_trip () =
+  with_journal @@ fun () ->
+  Journal.record "a" [ ("k", "1") ];
+  let shard = Journal.drain () in
+  Alcotest.(check int) "drained" 1 (List.length shard);
+  Alcotest.(check (list ev_t)) "buffer cleared" [] (Journal.events ());
+  Journal.record "a" [ ("k", "2") ];
+  Journal.absorb shard;
+  (* export is canonical regardless of which shard arrived first *)
+  Alcotest.(check (list string))
+    "absorbed + sorted" [ "1"; "2" ]
+    (List.map
+       (fun (e : Journal.event) -> Option.get (Journal.dim_value e "k"))
+       (Journal.events ()))
+
+let test_jsonl_round_trip () =
+  with_journal @@ fun () ->
+  Journal.record "panel.solve"
+    [ ("region", "3"); ("dir", "V"); ("sig", "00ff") ]
+    ~data:[ ("time_us", 12.5); ("nets", 4.0) ]
+    ~outcome:"feasible";
+  Journal.record "net.route" [ ("net", "7") ] ~data:[ ("pops", 3.0) ];
+  let evs = Journal.events () in
+  let path = Filename.temp_file "journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Journal.write_file path evs;
+      match Journal.load path with
+      | Ok loaded -> Alcotest.(check (list ev_t)) "round trip" evs loaded
+      | Error e -> Alcotest.fail e)
+
+let load_string contents =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Out_channel.with_open_bin path (fun oc ->
+          Out_channel.output_string oc contents);
+      Journal.load path)
+
+let check_load_error what needle contents =
+  match load_string contents with
+  | Ok _ -> Alcotest.failf "%s: expected an error" what
+  | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        go 0
+      in
+      if not (contains msg needle) then
+        Alcotest.failf "%s: error %S does not mention %S" what msg needle
+
+let test_loader_errors () =
+  check_load_error "empty" "empty journal" "";
+  check_load_error "no header" "missing schema header" "{\"ev\":\"x\"}\n";
+  check_load_error "wrong schema" "unsupported schema"
+    "{\"schema\":\"gsino-journal-v0\"}\n";
+  check_load_error "bad line" "line 2"
+    "{\"schema\":\"gsino-journal-v1\"}\nnot json\n";
+  check_load_error "missing ev" "missing field ev"
+    "{\"schema\":\"gsino-journal-v1\"}\n{\"dim\":{}}\n";
+  match
+    load_string
+      "{\"schema\":\"gsino-journal-v1\"}\n\n{\"ev\":\"a\",\"data\":{\"n\":2}}\n"
+  with
+  | Ok [ e ] ->
+      (* blank lines skipped; integer payloads accepted as floats *)
+      Alcotest.(check (option (float 0.0))) "int datum" (Some 2.0)
+        (Journal.data_value e "n")
+  | Ok evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
+  | Error e -> Alcotest.fail e
+
+let mk ev net ?outcome data =
+  { Journal.ev; dim = [ ("net", net) ]; data; outcome }
+
+let test_agg_by_dim () =
+  let evs =
+    [
+      mk "net.route" "1" [ ("pops", 2.0) ] ~outcome:"routed";
+      mk "net.route" "1" [ ("pops", 3.0); ("reweights", 1.0) ] ~outcome:"routed";
+      mk "net.route" "2" [ ("pops", 1.0) ] ~outcome:"empty";
+      { Journal.ev = "other"; dim = []; data = []; outcome = None };
+    ]
+  in
+  match Journal.Agg.by_dim "net" evs with
+  | [ a; b ] ->
+      Alcotest.(check string) "first key" "1" a.Journal.Agg.key;
+      Alcotest.(check int) "count" 2 a.Journal.Agg.count;
+      Alcotest.(check (float 1e-9)) "summed" 5.0 (Journal.Agg.datum a "pops");
+      Alcotest.(check (float 1e-9)) "absent datum" 0.0
+        (Journal.Agg.datum b "reweights");
+      Alcotest.(check (list (pair string int)))
+        "outcomes" [ ("routed", 2) ] a.Journal.Agg.outcomes
+  | rows -> Alcotest.failf "expected 2 rows, got %d" (List.length rows)
+
+let test_agg_top () =
+  let evs =
+    [
+      mk "net.route" "a" [ ("pops", 1.0) ];
+      mk "net.route" "b" [ ("pops", 9.0) ];
+      mk "net.route" "c" [ ("pops", 9.0) ];
+      mk "net.route" "d" [ ("pops", 4.0) ];
+    ]
+  in
+  let rows = Journal.Agg.by_dim "net" evs in
+  Alcotest.(check (list string))
+    "desc with key tiebreak" [ "b"; "c"; "d" ]
+    (List.map
+       (fun r -> r.Journal.Agg.key)
+       (Journal.Agg.top ~by:"pops" ~k:3 rows))
+
+let test_filter_dim () =
+  let evs =
+    [ mk "net.route" "1" []; mk "net.route" "2" []; mk "net.refine" "1" [] ]
+  in
+  Alcotest.(check int) "filtered" 2
+    (List.length (Journal.filter_dim ~key:"net" ~value:"1" evs));
+  Alcotest.(check (option string)) "missing key" None
+    (Journal.dim_value { Journal.ev = "x"; dim = []; data = []; outcome = None } "net")
+
+let suites =
+  [
+    ( "journal.record",
+      [
+        Alcotest.test_case "disabled no-op" `Quick test_disabled_is_noop;
+        Alcotest.test_case "key normalisation" `Quick
+          test_record_normalises_keys;
+        Alcotest.test_case "duplicate key rejected" `Quick
+          test_duplicate_dim_key_rejected;
+        Alcotest.test_case "canonical sort" `Quick test_canonical_sort;
+        Alcotest.test_case "drain/absorb" `Quick test_drain_absorb_round_trip;
+      ] );
+    ( "journal.io",
+      [
+        Alcotest.test_case "jsonl round trip" `Quick test_jsonl_round_trip;
+        Alcotest.test_case "loader errors" `Quick test_loader_errors;
+      ] );
+    ( "journal.agg",
+      [
+        Alcotest.test_case "by_dim" `Quick test_agg_by_dim;
+        Alcotest.test_case "top" `Quick test_agg_top;
+        Alcotest.test_case "filter_dim" `Quick test_filter_dim;
+      ] );
+  ]

@@ -19,6 +19,7 @@ let () =
          Test_refine.suites;
          Test_obs.suites;
          Test_diff.suites;
+         Test_journal.suites;
          Test_reportviz.suites;
          Test_exec.suites;
        ])

@@ -148,6 +148,36 @@ let test_html_report_sections () =
       "flow.phase_seconds";
     ]
 
+let test_html_report_top_offenders_gated () =
+  let module Journal = Eda_obs.Journal in
+  let r, snapshot = Lazy.force fixture in
+  (* without a journal the section must be absent entirely *)
+  Journal.disable ();
+  let html = Run_report.html ~tech ~snapshot r in
+  Alcotest.(check bool) "absent when not journaling" false
+    (contains ~sub:"Top offenders" html);
+  Journal.enable ();
+  Fun.protect ~finally:Journal.disable @@ fun () ->
+  Journal.record "net.route" [ ("net", "42") ]
+    ~data:[ ("pops", 7.0); ("reweights", 3.0); ("deletions", 1.0) ]
+    ~outcome:"routed";
+  Journal.record "panel.solve"
+    [ ("region", "5"); ("dir", "H"); ("sig", "00aa"); ("members", "42") ]
+    ~data:[ ("time_us", 120.0); ("nets", 1.0); ("shields", 2.0) ]
+    ~outcome:"feasible";
+  let html = Run_report.html ~tech ~snapshot r in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" sub) true
+        (contains ~sub html))
+    [
+      "Top offenders";
+      "Nets by route churn";
+      "Panels by SINO time";
+      ">42<";
+      ">5/H<";
+    ]
+
 let test_html_report_self_contained () =
   let r, snapshot = Lazy.force fixture in
   let html = Run_report.html ~tech ~snapshot r in
@@ -202,6 +232,8 @@ let suites =
         Alcotest.test_case "chart bars" `Quick test_chart_bars;
         Alcotest.test_case "chart linear bins" `Quick test_chart_linear_bins;
         Alcotest.test_case "html sections" `Quick test_html_report_sections;
+        Alcotest.test_case "top offenders journal-gated" `Quick
+          test_html_report_top_offenders_gated;
         Alcotest.test_case "html self-contained" `Quick
           test_html_report_self_contained;
         Alcotest.test_case "html heatmaps per dir" `Quick

@@ -285,9 +285,74 @@ let test_estimate_monotone_in_density () =
   let hi = Estimate.predict_uniform c ~nns:30 ~rate:0.7 in
   Alcotest.(check bool) "more sensitivity, more shields" true (hi >= lo)
 
+let test_signature_shape () =
+  let inst = mk_inst ~kth:1.0 4 in
+  let sg = Instance.signature inst in
+  Alcotest.(check int) "16 hex chars" 16 (String.length sg);
+  String.iter
+    (fun c ->
+      match c with
+      | '0' .. '9' | 'a' .. 'f' -> ()
+      | _ -> Alcotest.failf "non-hex char %c in %s" c sg)
+    sg;
+  Alcotest.(check string) "deterministic" sg
+    (Instance.signature (mk_inst ~kth:1.0 4));
+  Alcotest.(check bool) "size matters" false
+    (sg = Instance.signature (mk_inst ~kth:1.0 5))
+
 let qcheck_tests =
   let open QCheck in
+  (* symmetric pseudo-random sensitivity on global net ids *)
+  let sym_sens seed p i j =
+    i <> j && Rng.pair_hash ~seed (min i j) (max i j) < p
+  in
   [
+    Test.make ~name:"panel signature is permutation invariant" ~count:60
+      (pair (int_range 1 16) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let kth = Array.init n (fun i -> 0.1 +. (2.0 *. Rng.pair_hash ~seed i i)) in
+        let sensitive = sym_sens (seed lxor 0x5e5e) 0.5 in
+        let inst =
+          Instance.make ~nets:(Array.init n (fun i -> i)) ~kth ~sensitive
+        in
+        let perm = Array.init n (fun i -> i) in
+        Rng.shuffle (Rng.create (seed + 1)) perm;
+        let inst' =
+          Instance.make
+            ~nets:(Array.map (fun s -> s) perm)
+            ~kth:(Array.map (fun s -> kth.(s)) perm)
+            ~sensitive
+        in
+        Instance.signature inst = Instance.signature inst');
+    Test.make ~name:"flipping one sensitivity pair changes the signature"
+      ~count:60
+      (pair (int_range 2 12) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let rng = Rng.create seed in
+        let a = Rng.int rng n in
+        let b = (a + 1 + Rng.int rng (n - 1)) mod n in
+        let base = sym_sens seed 0.5 in
+        let flipped i j =
+          if (i = a && j = b) || (i = b && j = a) then not (base i j)
+          else base i j
+        in
+        let mk s =
+          Instance.make ~nets:(Array.init n (fun i -> i))
+            ~kth:(Array.make n 1.0) ~sensitive:s
+        in
+        Instance.signature (mk base) <> Instance.signature (mk flipped));
+    Test.make ~name:"doubling one net's Kth changes the signature" ~count:60
+      (pair (int_range 1 12) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let rng = Rng.create seed in
+        let v = Rng.int rng n in
+        let kth = Array.init n (fun i -> 0.2 +. Rng.pair_hash ~seed i i) in
+        let sensitive = sym_sens (seed lxor 3) 0.5 in
+        let nets = Array.init n (fun i -> i) in
+        let kth2 = Array.copy kth in
+        kth2.(v) <- kth2.(v) *. 2.0;
+        Instance.signature (Instance.make ~nets ~kth ~sensitive)
+        <> Instance.signature (Instance.make ~nets ~kth:kth2 ~sensitive));
     Test.make ~name:"min_area layouts are capacitive-crosstalk free" ~count:30
       (pair (int_range 2 20) (int_range 0 10_000))
       (fun (n, seed) ->
@@ -330,6 +395,7 @@ let suites =
         Alcotest.test_case "basics" `Quick test_instance_basics;
         Alcotest.test_case "with_kth" `Quick test_instance_with_kth;
         Alcotest.test_case "sensitivity fraction" `Quick test_instance_sensitivity_fraction;
+        Alcotest.test_case "signature shape" `Quick test_signature_shape;
       ] );
     ( "sino.layout",
       [
