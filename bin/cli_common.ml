@@ -111,25 +111,6 @@ let jobs_arg =
 let netlist_file_arg ~doc =
   Arg.(value & opt (some string) None & info [ "netlist" ] ~docv:"FILE" ~doc)
 
-let trace_arg =
-  let doc =
-    "Record spans of the whole run and write a Chrome-trace JSON file to \
-     $(docv) on exit (load it in chrome://tracing or ui.perfetto.dev); \
-     '-' writes it to stdout and silences the human-readable output."
-  in
-  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
-
-let profile_arg =
-  let doc =
-    "Fold the recorded spans into a per-span self-time profile \
-     (gsino-profile-v1 JSON: calls, total, self, p95, max per span name) \
-     and write it to $(docv) on exit.  Implies span recording even \
-     without $(b,--trace).  '-' prints the human-readable top-10 table to \
-     stdout instead and silences the normal output.  The profile is also \
-     exported as $(b,prof.*) gauges in the $(b,--metrics) artifact."
-  in
-  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
-
 let progress_arg =
   let doc =
     "Emit a live progress heartbeat on stderr (at most one line per \
@@ -137,32 +118,6 @@ let progress_arg =
      $(b,--deadline) is set — remaining budget."
   in
   Arg.(value & flag & info [ "progress" ] ~doc)
-
-let metrics_arg =
-  let doc =
-    "Write the metrics registry (gsino-metrics-v1 JSON: per-phase counters, \
-     gauges and histograms) to $(docv) on exit; '-' writes it to stdout \
-     and silences the human-readable output."
-  in
-  Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
-
-let journal_arg =
-  let doc =
-    "Record the attribution journal — dimension-keyed cost events (per-net \
-     route churn, per-region reweights, per-panel SINO time/moves/outcome \
-     with canonical panel signatures) — and write it as gsino-journal-v1 \
-     JSONL to $(docv) on exit; '-' writes it to stdout and silences the \
-     human-readable output.  Drill down with $(b,gsino_explain)."
-  in
-  Arg.(value & opt (some string) None & info [ "journal" ] ~docv:"FILE" ~doc)
-
-let report_arg =
-  let doc =
-    "Write a self-contained HTML run report for the GSINO flow (congestion \
-     and shield heatmaps, noise-margin audit, phase timings, metric charts) \
-     to $(docv); '-' prints the plain-text report to stdout instead."
-  in
-  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
 let verbose_arg =
   let doc = "Verbose logging (level debug; overrides GSINO_LOG)." in
@@ -172,6 +127,123 @@ let quiet_arg =
   let doc = "Silence logging entirely (overrides GSINO_LOG and $(b,-v))." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
+(* ---------------- output sinks ---------------- *)
+
+(* Each driver exposes a subset of the artifact sinks below.  One
+   declarative spec per sink — flag name, doc — is the single source of
+   truth: the cmdliner terms, the GSL0029 stdout arbitration and the
+   with_obs flush order all consume it, so adding a sink (or a driver)
+   cannot desynchronize the flag set from the checks. *)
+module Sinks = struct
+  type kind = Trace | Profile | Metrics | Journal | Report
+
+  let all = [ Trace; Profile; Metrics; Journal; Report ]
+
+  (* flag name + doc; '-' means stdout for every sink *)
+  let spec = function
+    | Trace ->
+        ( "trace",
+          "Record spans of the whole run and write a Chrome-trace JSON file \
+           to $(docv) on exit (load it in chrome://tracing or \
+           ui.perfetto.dev); '-' writes it to stdout and silences the \
+           human-readable output." )
+    | Profile ->
+        ( "profile",
+          "Fold the recorded spans into a per-span self-time profile \
+           (gsino-profile-v1 JSON: calls, total, self, p95, max per span \
+           name) and write it to $(docv) on exit.  Implies span recording \
+           even without $(b,--trace).  '-' prints the human-readable top-10 \
+           table to stdout instead and silences the normal output.  The \
+           profile is also exported as $(b,prof.*) gauges in the \
+           $(b,--metrics) artifact." )
+    | Metrics ->
+        ( "metrics",
+          "Write the metrics registry (gsino-metrics-v1 JSON: per-phase \
+           counters, gauges and histograms) to $(docv) on exit; '-' writes \
+           it to stdout and silences the human-readable output." )
+    | Journal ->
+        ( "journal",
+          "Record the attribution journal — dimension-keyed cost events \
+           (per-net route churn, per-region reweights, per-panel SINO \
+           time/moves/outcome with canonical panel signatures and cache \
+           hit/miss/stored dispositions) — and write it as gsino-journal-v1 \
+           JSONL to $(docv) on exit; '-' writes it to stdout and silences \
+           the human-readable output.  Drill down with $(b,gsino_explain)." )
+    | Report ->
+        ( "report",
+          "Write a self-contained HTML run report for the GSINO flow \
+           (congestion and shield heatmaps, noise-margin audit, phase \
+           timings, metric charts) to $(docv); '-' prints the plain-text \
+           report to stdout instead." )
+
+  type t = {
+    trace : string option;
+    profile : string option;
+    metrics : string option;
+    journal : string option;
+    report : string option;
+  }
+
+  let none =
+    { trace = None; profile = None; metrics = None; journal = None; report = None }
+
+  let get t = function
+    | Trace -> t.trace
+    | Profile -> t.profile
+    | Metrics -> t.metrics
+    | Journal -> t.journal
+    | Report -> t.report
+
+  (* every sink as (flag, value), spec order — what GSL0029 arbitrates *)
+  let pairs t = List.map (fun k -> (fst (spec k), get t k)) all
+
+  let arg kind =
+    let name, doc = spec kind in
+    Arg.(value & opt (some string) None & info [ name ] ~docv:"FILE" ~doc)
+
+  (* [term kinds] — the sink flags this driver exposes; kinds not listed
+     parse as absent so downstream plumbing is uniform *)
+  let term kinds =
+    let mk kind = if List.mem kind kinds then arg kind else Term.const None in
+    Term.(
+      const (fun trace profile metrics journal report ->
+          { trace; profile; metrics; journal; report })
+      $ mk Trace $ mk Profile $ mk Metrics $ mk Journal $ mk Report)
+end
+
+(* ---------------- panel cache ---------------- *)
+
+(* (enabled, directory): what Flow.Config.{cache, cache_dir} consume.
+   The cache never changes a byte of output (DESIGN §10), so both flags
+   are pure performance knobs. *)
+let panel_cache_term =
+  let dir_arg =
+    let doc =
+      "Persist the content-addressed SINO panel cache in $(docv): solved \
+       panels are loaded before Phase II and saved back after refinement, \
+       so later runs (any circuit, any driver) skip re-solving identical \
+       panels.  Cached solutions are byte-identical to fresh ones.  A \
+       missing or corrupt store is treated as empty, never an error."
+    in
+    let env =
+      Cmd.Env.info "GSINO_PANEL_CACHE"
+        ~doc:"Default directory for $(b,--panel-cache)."
+    in
+    Arg.(value & opt (some string) None & info [ "panel-cache" ] ~docv:"DIR" ~env ~doc)
+  in
+  let off_arg =
+    let doc =
+      "Disable the in-process SINO panel cache (and ignore \
+       $(b,--panel-cache) / $(b,GSINO_PANEL_CACHE)).  Solutions are \
+       unchanged — this only stops repeat panels from being memoized; \
+       useful for measuring the cache's effect."
+    in
+    Arg.(value & flag & info [ "no-panel-cache" ] ~doc)
+  in
+  Term.(
+    const (fun dir off -> (not off, if off then None else dir))
+    $ dir_arg $ off_arg)
+
 (* ---------------- stdout arbitration ---------------- *)
 
 (* "-" routes an artifact to stdout.  At most one artifact may claim
@@ -179,9 +251,10 @@ let quiet_arg =
    formatter) so the artifact stays machine-parseable.  Two sinks both
    set to '-' would interleave JSON on one stream, so that is rejected
    up front as a coded usage error (GSL0029, exit 2) naming the
-   offending flags. *)
+   offending flags.  Driven by the Sinks spec table, the check covers
+   every sink pair of every driver uniformly. *)
 let claim_stdout ~prog sinks =
-  match List.filter (fun (_, v) -> v = Some "-") sinks with
+  match List.filter (fun (_, v) -> v = Some "-") (Sinks.pairs sinks) with
   | [] -> false
   | [ _ ] -> true
   | clash ->
@@ -296,9 +369,12 @@ let write_profile = function
    observability artifacts behind ([pretty] switches diagnostics to the
    human-readable renderer).  Flush order matters: the profile folds the
    trace ring and publishes prof.* gauges, so it runs after the trace
-   export and before the metrics snapshot. *)
-let with_obs ?(pretty = false) ?(prog = "gsino") ?(profile = None)
-    ?(journal = None) ?(progress = false) ~trace ~metrics ~verbose ~quiet f =
+   export and before the metrics snapshot.  The report sink stays a
+   per-driver concern (it needs the flow result); everything else flushes
+   here. *)
+let with_obs ?(pretty = false) ?(prog = "gsino") ?(progress = false) ~sinks
+    ~verbose ~quiet f =
+  let { Sinks.trace; profile; metrics; journal; report = _ } = sinks in
   if quiet then Log.set_level Log.Quiet
   else if verbose then Log.set_level (Log.Level Log.Debug);
   init_faults ~prog ();

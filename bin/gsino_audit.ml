@@ -62,19 +62,10 @@ let grid_of tech netlist ~hcap ~vcap =
   end
 
 let audit circuit scale seed rate hcap vcap netlist_file pretty max_print
-    errors_only trace profile progress metrics journal verbose quiet =
-  let claimed =
-    C.claim_stdout ~prog:"gsino_audit"
-      [
-        ("trace", trace);
-        ("profile", profile);
-        ("metrics", metrics);
-        ("journal", journal);
-      ]
-  in
+    errors_only sinks progress verbose quiet =
+  let claimed = C.claim_stdout ~prog:"gsino_audit" sinks in
   let out = C.out_formatter ~claimed in
-  C.with_obs ~pretty ~prog:"gsino_audit" ~profile ~journal ~progress ~trace
-    ~metrics ~verbose ~quiet
+  C.with_obs ~pretty ~prog:"gsino_audit" ~progress ~sinks ~verbose ~quiet
   @@ fun () ->
   let tech = Tech.default in
   let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
@@ -124,8 +115,8 @@ let cmd =
     Term.(
       const audit $ C.circuit_arg $ C.scale_arg ~default:0.02 () $ C.seed_arg
       $ C.rate_arg $ hcap_arg $ vcap_arg $ netlist_file_arg $ pretty_arg
-      $ max_print_arg $ errors_only_arg $ C.trace_arg $ C.profile_arg
-      $ C.progress_arg $ C.metrics_arg $ C.journal_arg $ C.verbose_arg
-      $ C.quiet_arg)
+      $ max_print_arg $ errors_only_arg
+      $ C.Sinks.(term [ Trace; Profile; Metrics; Journal ])
+      $ C.progress_arg $ C.verbose_arg $ C.quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -46,23 +46,15 @@ let errors_only_arg =
   Arg.(value & flag & info [ "e"; "errors-only" ] ~doc)
 
 let lint circuit scale seed rate router budgeting jobs deadline netlist_file
-    kinds pretty max_print errors_only trace profile progress metrics journal
-    verbose quiet =
-  let claimed =
-    C.claim_stdout ~prog:"gsino_lint"
-      [
-        ("trace", trace);
-        ("profile", profile);
-        ("metrics", metrics);
-        ("journal", journal);
-      ]
-  in
+    kinds pretty max_print errors_only sinks panel_cache progress verbose quiet
+    =
+  let claimed = C.claim_stdout ~prog:"gsino_lint" sinks in
   let out = C.out_formatter ~claimed in
-  C.with_obs ~pretty ~prog:"gsino_lint" ~profile ~journal ~progress ~trace
-    ~metrics ~verbose ~quiet
+  C.with_obs ~pretty ~prog:"gsino_lint" ~progress ~sinks ~verbose ~quiet
   @@ fun () ->
   let tech = Tech.default in
   let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
+  let cache, cache_dir = panel_cache in
   let config kind =
     {
       Flow.Config.default with
@@ -72,6 +64,8 @@ let lint circuit scale seed rate router budgeting jobs deadline netlist_file
       seed;
       jobs;
       deadline_ms = deadline;
+      cache;
+      cache_dir;
     }
   in
   let grid, base = Flow.prepare ~config:(config Flow.Gsino) tech netlist in
@@ -121,8 +115,8 @@ let cmd =
       const lint $ C.circuit_arg $ C.scale_arg ~default:0.02 () $ C.seed_arg
       $ C.rate_arg $ C.router_arg $ C.budgeting_arg $ C.jobs_arg
       $ C.deadline_arg $ netlist_file_arg $ kind_arg $ pretty_arg
-      $ max_print_arg $ errors_only_arg $ C.trace_arg $ C.profile_arg
-      $ C.progress_arg $ C.metrics_arg $ C.journal_arg $ C.verbose_arg
-      $ C.quiet_arg)
+      $ max_print_arg $ errors_only_arg
+      $ C.Sinks.(term [ Trace; Profile; Metrics; Journal ])
+      $ C.panel_cache_term $ C.progress_arg $ C.verbose_arg $ C.quiet_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -22,25 +22,15 @@ let netlist_file_arg =
 
 let run_cmd =
   let run circuit scale seed rate router budgeting jobs deadline audit
-      netlist_file trace profile progress metrics journal report verbose quiet
-      =
-    let claimed =
-      C.claim_stdout ~prog:"gsino_run"
-        [
-          ("trace", trace);
-          ("profile", profile);
-          ("metrics", metrics);
-          ("journal", journal);
-          ("report", report);
-        ]
-    in
+      netlist_file sinks panel_cache progress verbose quiet =
+    let claimed = C.claim_stdout ~prog:"gsino_run" sinks in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~prog:"gsino_run" ~profile ~journal ~progress ~trace ~metrics
-      ~verbose ~quiet
+    C.with_obs ~prog:"gsino_run" ~progress ~sinks ~verbose ~quiet
     @@ fun () ->
     let tech = Tech.default in
     let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
     Format.fprintf out "%a@." Eda_netlist.Netlist.pp_summary netlist;
+    let cache, cache_dir = panel_cache in
     let config kind =
       {
         Flow.Config.default with
@@ -51,6 +41,8 @@ let run_cmd =
         jobs;
         deadline_ms = deadline;
         audit;
+        cache;
+        cache_dir;
       }
     in
     let grid, base = Flow.prepare ~config:(config Flow.Id_no) tech netlist in
@@ -85,7 +77,7 @@ let run_cmd =
           diags)
       flows;
     Format.fprintf out "@.%a" Report.metrics_summary (Metrics.snapshot ());
-    match report with
+    match sinks.C.Sinks.report with
     | None -> ()
     | Some dest -> (
         let gsino_r = List.find (fun r -> r.Flow.kind = Flow.Gsino) flows in
@@ -107,15 +99,17 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
           $ C.router_arg $ C.budgeting_arg $ C.jobs_arg $ C.deadline_arg
-          $ C.audit_arg $ netlist_file_arg $ C.trace_arg $ C.profile_arg
-          $ C.progress_arg $ C.metrics_arg $ C.journal_arg $ C.report_arg
-          $ C.verbose_arg $ C.quiet_arg)
+          $ C.audit_arg $ netlist_file_arg $ C.Sinks.term C.Sinks.all
+          $ C.panel_cache_term $ C.progress_arg $ C.verbose_arg $ C.quiet_arg)
 
 let map_cmd =
-  let run circuit scale seed rate jobs netlist_file =
+  let run circuit scale seed rate jobs netlist_file panel_cache =
     let tech = Tech.default in
     let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
-    let config kind = { Flow.Config.default with Flow.Config.kind; seed; jobs } in
+    let cache, cache_dir = panel_cache in
+    let config kind =
+      { Flow.Config.default with Flow.Config.kind; seed; jobs; cache; cache_dir }
+    in
     let grid, base = Flow.prepare ~config:(config Flow.Id_no) tech netlist in
     let sensitivity = Eda_netlist.Sensitivity.make ~seed:(seed lxor 0xbeef) ~rate in
     let idno = Flow.run ~grid ~base (config Flow.Id_no) tech ~sensitivity netlist in
@@ -129,7 +123,7 @@ let map_cmd =
   let doc = "Print ASCII congestion maps before and after GSINO." in
   Cmd.v (Cmd.info "map" ~doc)
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ C.rate_arg
-          $ C.jobs_arg $ netlist_file_arg)
+          $ C.jobs_arg $ netlist_file_arg $ C.panel_cache_term)
 
 let gen_cmd =
   let run circuit scale seed out =
@@ -150,27 +144,18 @@ let gen_cmd =
     Term.(const run $ C.circuit_arg $ C.scale_arg () $ C.seed_arg $ out_arg)
 
 let suite_cmd =
-  let run scale seed jobs circuits trace profile progress metrics journal
-      verbose quiet =
-    let claimed =
-      C.claim_stdout ~prog:"gsino_run"
-        [
-          ("trace", trace);
-          ("profile", profile);
-          ("metrics", metrics);
-          ("journal", journal);
-        ]
-    in
+  let run scale seed jobs circuits sinks panel_cache progress verbose quiet =
+    let claimed = C.claim_stdout ~prog:"gsino_run" sinks in
     let out = C.out_formatter ~claimed in
-    C.with_obs ~prog:"gsino_run" ~profile ~journal ~progress ~trace ~metrics
-      ~verbose ~quiet
+    C.with_obs ~prog:"gsino_run" ~progress ~sinks ~verbose ~quiet
     @@ fun () ->
     let profiles =
       match circuits with
       | [] -> Eda_netlist.Generator.all_ibm
       | names -> List.map C.profile_of_name names
     in
-    let suite = Report.run_suite ~profiles ~jobs ~scale ~seed () in
+    let cache, cache_dir = panel_cache in
+    let suite = Report.run_suite ~profiles ~jobs ~cache ?cache_dir ~scale ~seed () in
     Format.fprintf out "%a@.%a@.%a@.%a@.%a@.%a@.%a@." Report.table1 suite
       Report.table2 suite Report.table3 suite Report.violations_summary suite
       Report.timing_summary suite Report.lint_summary suite
@@ -183,8 +168,8 @@ let suite_cmd =
   let doc = "Reproduce the paper's Tables 1-3 (both sensitivity rates)." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(const run $ C.scale_arg () $ C.seed_arg $ C.jobs_arg $ circuits_arg
-          $ C.trace_arg $ C.profile_arg $ C.progress_arg $ C.metrics_arg
-          $ C.journal_arg $ C.verbose_arg $ C.quiet_arg)
+          $ C.Sinks.(term [ Trace; Profile; Metrics; Journal ])
+          $ C.panel_cache_term $ C.progress_arg $ C.verbose_arg $ C.quiet_arg)
 
 let table_cmd =
   let run () =

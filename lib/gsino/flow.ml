@@ -43,6 +43,8 @@ module Config = struct
     max_region_retries : int;
     on_infeasible : Eda_guard.Error.policy;
     audit : bool;
+    cache : bool;
+    cache_dir : string option;
   }
 
   let default =
@@ -57,6 +59,8 @@ module Config = struct
       max_region_retries = 2;
       on_infeasible = Eda_guard.Error.Degrade;
       audit = false;
+      cache = true;
+      cache_dir = None;
     }
 end
 
@@ -201,6 +205,8 @@ let run ?grid ?base config tech ~sensitivity netlist =
     max_region_retries;
     on_infeasible;
     audit;
+    cache = cache_on;
+    cache_dir;
   } =
     config
   in
@@ -253,11 +259,21 @@ let run ?grid ?base config tech ~sensitivity netlist =
   let mode =
     match kind with Id_no -> Phase2.Order_only | Isino | Gsino -> Phase2.Min_area
   in
+  (* The panel cache is per-run unless [cache_dir] makes it persistent.
+     Solutions are content-determined either way, so enabling it never
+     changes a byte of output (DESIGN §10) — it only skips repeat work. *)
+  let cache =
+    if not cache_on then None
+    else
+      match cache_dir with
+      | Some dir -> Some (Eda_sino.Cache.load dir)
+      | None -> Some (Eda_sino.Cache.create ())
+  in
   let phase2, sino_s =
     timed_phase "sino" (fun () ->
         Phase2.solve ~grid ~netlist ~routes ~kth:(Budget.kth budget) ~sensitivity
           ~keff:tech.Tech.keff ~mode ~seed ~deadline
-          ~retries:max_region_retries ~on_infeasible ~pool ())
+          ~retries:max_region_retries ~on_infeasible ?cache ~pool ())
   in
   let usage = Usage.of_routes grid ~gcell_um (Array.to_list routes) in
   Phase2.apply_shields usage phase2;
@@ -268,11 +284,13 @@ let run ?grid ?base config tech ~sensitivity netlist =
         let stats, s =
           timed_phase "refine" (fun () ->
               Refine.run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
-                ~bound_v:tech.Tech.noise_bound_v ~seed:(seed lxor 0x1d1d)
-                ~deadline ~pool ())
+                ~bound_v:tech.Tech.noise_bound_v ~deadline ~pool ())
         in
         (Some stats, s)
   in
+  (match (cache, cache_dir) with
+  | Some c, Some dir -> Eda_sino.Cache.save c dir
+  | _ -> ());
   Log.debug
     ~fields:[ ("kind", kind_name kind); ("circuit", netlist.Netlist.name) ]
     "flow phases done: route %.2fs, sino %.2fs, refine %.2fs" route_s sino_s
@@ -317,12 +335,6 @@ let run ?grid ?base config tech ~sensitivity netlist =
 
 let degraded r =
   r.deadline_hits <> [] || Phase2.degraded_panels r.phase2 <> []
-
-let run_legacy tech ~sensitivity ~seed ?(router = Iterative_deletion)
-    ?(budgeting = Uniform) ?grid ?base netlist kind =
-  run ?grid ?base
-    { Config.default with Config.kind; router; budgeting; seed }
-    tech ~sensitivity netlist
 
 let check ?(tech = Tech.default) r =
   let module Checker = Eda_check.Checker in

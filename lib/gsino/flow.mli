@@ -46,7 +46,11 @@ module Config : sig
             noise scans, per-net candidate evaluation); [1] = fully
             sequential, byte-identical to the pre-parallel code.  Results
             are deterministic for any value — see DESIGN.md. *)
-    seed : int;  (** placement/heuristic seed; Phase III uses a split *)
+    seed : int;
+        (** flow-level heuristic seed.  Per-panel RNG streams are derived
+            from it together with the panel's canonical content signature
+            (never its grid position), so identical panels get identical
+            layouts — the property the panel cache relies on. *)
     cap_quantile : float;
         (** {!prepare}'s capacity clamp quantile (default 0.90) *)
     deadline_ms : int;
@@ -57,8 +61,7 @@ module Config : sig
             of raising. *)
     max_region_retries : int;
         (** reseeded re-solves of an infeasible min-area SINO panel
-            before [on_infeasible] applies (default 2; attempt 0 always
-            uses the historical seed) *)
+            before [on_infeasible] applies (default 2) *)
     on_infeasible : Eda_guard.Error.policy;
         (** what to do when a panel stays infeasible after the retries:
             [Degrade] (default) installs a conservative all-shield
@@ -71,11 +74,23 @@ module Config : sig
             raises a typed [Infeasible] before any routing work;
             [Degrade] logs the findings and proceeds.  Timing is recorded
             as [flow.phase_seconds{phase="audit"}]. *)
+    cache : bool;
+        (** memoize panel solves in a content-addressed
+            {!Eda_sino.Cache} (default [true]).  Solutions are
+            byte-identical with the cache on or off (DESIGN §10); turn it
+            off only to measure its effect. *)
+    cache_dir : string option;
+        (** persist the panel cache in this directory (loaded before
+            Phase II, saved after refinement), sharing solved panels
+            across runs — the CLI's [--panel-cache DIR] /
+            [GSINO_PANEL_CACHE].  [None] (default) keeps the cache
+            in-process only.  Ignored when [cache] is [false]. *)
   }
 
   (** [Gsino], iterative deletion, uniform budgeting, [jobs = 1],
       [seed = 7], [cap_quantile = 0.90], no deadline, 2 region retries,
-      [Degrade] on infeasibility, no audit pre-pass. *)
+      [Degrade] on infeasibility, no audit pre-pass, in-process panel
+      cache enabled with no persistence directory. *)
   val default : t
 end
 
@@ -154,22 +169,6 @@ val run :
     connected, accounting consistent) — the lint rules GSL0018/GSL0019
     describe what was given up. *)
 val degraded : result -> bool
-
-val run_legacy :
-  Tech.t ->
-  sensitivity:Eda_netlist.Sensitivity.t ->
-  seed:int ->
-  ?router:router ->
-  ?budgeting:budgeting ->
-  ?grid:Eda_grid.Grid.t ->
-  ?base:Eda_grid.Route.t array ->
-  Eda_netlist.Netlist.t ->
-  kind ->
-  result
-  [@@ocaml.deprecated "Build a Flow.Config.t and call Flow.run instead."]
-(** The pre-[Config] calling convention, kept for one release so out-of-
-    tree callers migrate on their own schedule; equivalent to {!run} with
-    [{ Config.default with kind; router; budgeting; seed }]. *)
 
 (** [check ?tech r] — static analysis of the finished flow: run every
     {!Eda_check.Checker} invariant rule against the solution and return

@@ -24,8 +24,8 @@ let m_resolves = Metrics.counter "phase2.resolves"
 (* Guard counters are looked up at the event (registration is idempotent
    and mutex-guarded, so this is safe from worker domains) and therefore
    only exist in runs that actually retried / fell back / found an
-   infeasible panel — clean runs export a byte-identical metrics set. *)
-let c_retries () = Metrics.counter "guard.retries"
+   infeasible panel — clean runs export a byte-identical metrics set.
+   The retry counter itself moved into Solver.solve with the ladder. *)
 let c_fallbacks () = Metrics.counter "guard.fallbacks"
 let c_infeasible () = Metrics.counter "phase2.infeasible_panels"
 
@@ -39,6 +39,17 @@ let m_sig_unique () = Metrics.counter "sino.panel_sig_unique"
 let m_sig_dups () = Metrics.counter "sino.panel_sig_dups"
 let c_moves_acc () = Metrics.counter "sino.moves_accepted"
 let c_moves_rej () = Metrics.counter "sino.moves_rejected"
+
+(* The cache disposition is journaled as its own dimension, not folded
+   into the outcome: the outcome describes the solution (identical for
+   any schedule), while hit/miss depends on which domain touches a
+   duplicate panel first under jobs>1.  The determinism compares strip
+   the "cache" dimension and the sino.cache_* series. *)
+let cache_dim = function
+  | None -> []
+  | Some Solver.Hit -> [ ("cache", "hit") ]
+  | Some Solver.Miss -> [ ("cache", "miss") ]
+  | Some Solver.Stored -> [ ("cache", "stored") ]
 
 let note_signature ~sigs ~mu sg =
   let seen =
@@ -68,6 +79,8 @@ type t = {
   net_regions : (int, key list) Hashtbl.t;
   sigs : (string, unit) Hashtbl.t;  (** signatures seen this flow *)
   sig_mu : Mutex.t;
+  cache : Eda_sino.Cache.t option;  (** shared with Phase III re-solves *)
+  seed : int;  (** flow seed — re-solve cache keys must match solve keys *)
 }
 
 let grid t = t.grid
@@ -99,7 +112,7 @@ let fallback_layout mode inst =
 
 let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
     ?(deadline = Eda_guard.Deadline.none) ?(retries = 2)
-    ?(on_infeasible = Eda_guard.Error.Degrade) ?pool () =
+    ?(on_infeasible = Eda_guard.Error.Degrade) ?cache ?pool () =
   Trace.span "phase2.solve" @@ fun () ->
   let members : (key, int list) Hashtbl.t = Hashtbl.create 256 in
   let net_regions : (int, key list) Hashtbl.t = Hashtbl.create 256 in
@@ -127,6 +140,11 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
   in
   let sigs : (string, unit) Hashtbl.t = Hashtbl.create 256 in
   let sig_mu = Mutex.create () in
+  let req =
+    Solver.request
+      ~mode:(match mode with Order_only -> Solver.Order_only | Min_area -> Solver.Min_area)
+      ~params:keff ~retries ~deadline ~fault_site:"phase2.solve" ~seed ()
+  in
   let solve_panel (((r, d) as _key), nets) =
     let t0 = Clock.now_ns () in
     let acc0 = Metrics.counter_value (c_moves_acc ())
@@ -136,24 +154,6 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
     let inst =
       Instance.make ~nets ~kth:kth_arr ~sensitive:(Sensitivity.sensitive sensitivity)
     in
-    let attempt i =
-      (* attempt 0 keeps the historical panel-keyed seed (bit-identical
-         to the pre-guard flow); reseeds derive fresh streams per try *)
-      let rng =
-        if i = 0 then Rng.create (Hashtbl.hash (seed, r, Dir.to_string d))
-        else Rng.create (Hashtbl.hash (seed, r, Dir.to_string d, 0x5eed + i))
-      in
-      Eda_guard.Fault.point "phase2.solve";
-      match mode with
-      | Order_only -> Solver.order_only rng inst
-      | Min_area -> Solver.min_area ~params:keff ~deadline rng inst
-    in
-    (* Order_only is the shield-free NO baseline: it ignores inductive
-       bounds by design, so infeasibility is expected there and never
-       retried — only Min_area panels go through the retry ladder. *)
-    let acceptable l =
-      match mode with Order_only -> true | Min_area -> Layout.feasible l keff
-    in
     let fallback best =
       Metrics.incr (c_fallbacks ());
       let fb = fallback_layout mode inst in
@@ -161,53 +161,50 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
       | Some l when not (Layout.feasible fb keff) -> l
       | Some _ | None -> fb
     in
-    let rec run i best =
-      match attempt i with
-      | l when acceptable l -> (l, false)
-      | l ->
-          if Eda_guard.Deadline.expired deadline then
-            (* out of time: keep the best-so-far, tagged degraded *)
-            (l, true)
-          else if i < retries then begin
-            Metrics.incr (c_retries ());
-            run (i + 1) (Some l)
-          end
-          else begin
-            match on_infeasible with
-            | Eda_guard.Error.Fail ->
-                Eda_guard.Error.raise_
-                  (Eda_guard.Error.Infeasible
-                     {
-                       region = r;
-                       dir = Dir.to_string d;
-                       nets = Array.length nets;
-                       retries;
-                     })
-            | Eda_guard.Error.Degrade -> (fallback (Some l), true)
-          end
-      | exception Eda_guard.Error.Error (Eda_guard.Error.Worker_crash _)
-        when i < retries ->
-          Metrics.incr (c_retries ());
-          run (i + 1) best
-      | exception Eda_guard.Error.Error (Eda_guard.Error.Worker_crash _ as e) ->
-          (match on_infeasible with
-          | Eda_guard.Error.Fail -> Eda_guard.Error.raise_ e
-          | Eda_guard.Error.Degrade -> (fallback best, true))
-    in
-    let layout, degraded =
+    (* Order_only is the shield-free NO baseline: it ignores inductive
+       bounds by design, so infeasibility is expected there and solve
+       always accepts; only Min_area panels go through the retry ladder
+       (inside Solver.solve).  Policy on exhaustion stays here, where
+       the panel's grid context lives. *)
+    let layout, degraded, cache_note, sg =
       match mode with
       | Min_area when Eda_guard.Deadline.expired deadline ->
           (* the budget was gone before this panel was even attempted:
              take the conservative all-shield fallback immediately so
              degradation latency stays bounded by the panel count, not
              by full solves that would be thrown away anyway *)
-          (fallback None, true)
-      | Min_area | Order_only -> run 0 None
+          (fallback None, true, None, Instance.signature inst)
+      | Min_area | Order_only -> (
+          match Solver.solve ?cache req inst with
+          | { Solver.acceptable = true; layout; degraded; cache = cn; signature; _ }
+            ->
+              (layout, degraded, cn, signature)
+          | { Solver.degraded = true; layout; cache = cn; signature; _ } ->
+              (* the deadline ran out mid-ladder: best-so-far *)
+              (layout, true, cn, signature)
+          | { Solver.layout; cache = cn; signature; _ } -> (
+              match on_infeasible with
+              | Eda_guard.Error.Fail ->
+                  Eda_guard.Error.raise_
+                    (Eda_guard.Error.Infeasible
+                       {
+                         region = r;
+                         dir = Dir.to_string d;
+                         nets = Array.length nets;
+                         retries;
+                       })
+              | Eda_guard.Error.Degrade ->
+                  (fallback (Some layout), true, cn, signature))
+          | exception
+              Eda_guard.Error.Error (Eda_guard.Error.Worker_crash _ as e) -> (
+              match on_infeasible with
+              | Eda_guard.Error.Fail -> Eda_guard.Error.raise_ e
+              | Eda_guard.Error.Degrade ->
+                  (fallback None, true, None, Instance.signature inst)))
     in
     Metrics.incr (match d with Dir.H -> m_panels_h | Dir.V -> m_panels_v);
     Metrics.observe h_panel_nets (float_of_int (Array.length nets));
     Metrics.add m_shields (Layout.num_shields layout);
-    let sg = Instance.signature inst in
     note_signature ~sigs ~mu:sig_mu sg;
     let soln = soln_of_layout ~keff ~degraded inst layout in
     if Journal.enabled () then begin
@@ -217,13 +214,14 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
       let acc = Metrics.counter_value (c_moves_acc ()) - acc0
       and rej = Metrics.counter_value (c_moves_rej ()) - rej0 in
       Journal.record "panel.solve"
-        [
-          ("region", string_of_int r);
-          ("dir", Dir.to_string d);
-          ("sig", sg);
-          ( "members",
-            String.concat "," (Array.to_list (Array.map string_of_int nets)) );
-        ]
+        ([
+           ("region", string_of_int r);
+           ("dir", Dir.to_string d);
+           ("sig", sg);
+           ( "members",
+             String.concat "," (Array.to_list (Array.map string_of_int nets)) );
+         ]
+        @ cache_dim cache_note)
         ~data:
           [
             ("nets", float_of_int (Array.length nets));
@@ -268,7 +266,7 @@ let solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed
       in
       if n > 0 then Metrics.add (c_infeasible ()) n
   | Order_only -> ());
-  { grid; keff; table; net_regions; sigs; sig_mu }
+  { grid; keff; table; net_regions; sigs; sig_mu; cache; seed }
 
 let find t key = Hashtbl.find_opt t.table key
 
@@ -285,27 +283,36 @@ let total_shields t =
 
 let replace t key soln = Hashtbl.replace t.table key soln
 
-let resolve ?(deadline = Eda_guard.Deadline.none) ?net ?pass t key inst rng =
+let resolve ?(deadline = Eda_guard.Deadline.none) ?net ?pass t key inst =
   let t0 = Clock.now_ns () in
   let acc0 = Metrics.counter_value (c_moves_acc ())
   and rej0 = Metrics.counter_value (c_moves_rej ()) in
   Metrics.incr m_resolves;
   Eda_guard.Fault.point "refine.resolve";
   (* warm-start from the current layout when the instance is the same net
-     set with changed bounds (the Phase III case): keeps the ordering and
-     the other nets' couplings stable, and is much cheaper *)
+     set with changed bounds (the Phase III case): Solver.solve runs the
+     deterministic repair kernel then, keeping the ordering and the other
+     nets' couplings stable.  Either way the solve goes through the choke
+     point with the flow seed, so a re-solve whose content matches any
+     earlier solve — here or in Phase II — is a cache hit. *)
   let same_nets s =
     Instance.size s.inst = Instance.size inst
     && Array.for_all
          (fun i -> Instance.net_id s.inst i = Instance.net_id inst i)
          (Array.init (Instance.size inst) (fun i -> i))
   in
-  let layout =
+  let warm =
     match find t key with
-    | Some s when same_nets s -> Solver.repair ~params:t.keff ~deadline inst s.layout
-    | Some _ | None -> Solver.min_area ~params:t.keff ~deadline rng inst
+    | Some s when same_nets s -> Some s.layout
+    | Some _ | None -> None
   in
-  let sg = Instance.signature inst in
+  let req =
+    Solver.request ~mode:Solver.Min_area ~params:t.keff ~retries:0 ~deadline
+      ~seed:t.seed ()
+  in
+  let result = Solver.solve ?cache:t.cache ?warm req inst in
+  let layout = result.Solver.layout in
+  let sg = result.Solver.signature in
   note_signature ~sigs:t.sigs ~mu:t.sig_mu sg;
   let soln = soln_of_layout ~keff:t.keff inst layout in
   if Journal.enabled () then begin
@@ -322,6 +329,7 @@ let resolve ?(deadline = Eda_guard.Deadline.none) ?net ?pass t key inst rng =
          ("dir", Dir.to_string d);
          ("sig", sg);
        ]
+      @ cache_dim result.Solver.cache
       @ (match net with
         | Some n -> [ ("net", string_of_int n) ]
         | None -> [])

@@ -24,17 +24,24 @@ type mode = Order_only | Min_area
 
 (** [solve ~grid ~netlist ~routes ~kth ~sensitivity ~keff ~mode ~seed ()]
     builds and solves every non-empty region instance.  [kth net] supplies
-    the per-net bound from Phase I budgeting.  Panels are independent
-    (each has its own panel-keyed RNG seed): with [?pool] they are solved
-    in parallel with results identical to the sequential order.
+    the per-net bound from Phase I budgeting.  Every panel goes through
+    the {!Eda_sino.Solver.solve} choke point, which derives its RNG
+    stream from the panel's canonical signature (+ flow seed + attempt),
+    never from the panel's grid position — identical panels anywhere in
+    the grid get identical layouts, and with [?pool] panels solve in
+    parallel with results identical to the sequential order.
+
+    [?cache] memoizes [Min_area] solves across panels (and, via
+    [--panel-cache], across runs); cached results are byte-identical to
+    re-solved ones (DESIGN §10), and every [panel.solve] journal event
+    carries the outcome as its ["cache"] dimension.
 
     A [Min_area] panel that comes back infeasible is retried up to
-    [retries] times with fresh reseeded RNG streams (attempt 0 keeps the
-    historical seed, so feasible-first-try runs are bit-identical to the
-    pre-guard flow); if still infeasible, [on_infeasible] decides:
-    [Fail] raises [Eda_guard.Error.Error (Infeasible _)], [Degrade]
-    installs a conservative all-shield fallback and tags the panel
-    degraded (bumping [guard.retries] / [guard.fallbacks] /
+    [retries] times with fresh content-derived RNG streams inside the
+    solver; if still infeasible, [on_infeasible] decides: [Fail] raises
+    [Eda_guard.Error.Error (Infeasible _)], [Degrade] installs a
+    conservative all-shield fallback and tags the panel degraded
+    (bumping [guard.retries] / [guard.fallbacks] /
     [phase2.infeasible_panels]).  An expired [deadline] stops both the
     per-panel improvement stages and the retry ladder, keeping
     best-so-far results.  [phase2.solve] is a fault-injection site. *)
@@ -50,6 +57,7 @@ val solve :
   ?deadline:Eda_guard.Deadline.t ->
   ?retries:int ->
   ?on_infeasible:Eda_guard.Error.policy ->
+  ?cache:Eda_sino.Cache.t ->
   ?pool:Eda_exec.t ->
   unit ->
   t
@@ -72,12 +80,16 @@ val total_shields : t -> int
 (** [replace t key soln] — Phase III substitutes refined solutions. *)
 val replace : t -> key -> soln -> unit
 
-(** [resolve t key inst rng] — re-run min-area SINO on a (possibly
-    re-bounded) instance and build the [soln] record.  [refine.resolve]
-    is a fault-injection site; an expired [deadline] degrades to the
-    cheap repair stages only.  [?net] and [?pass] attribute the resulting
-    [panel.resolve] journal event to the net and refinement pass that
-    asked for the re-solve. *)
+(** [resolve t key inst] — re-run min-area SINO on a (possibly
+    re-bounded) instance and build the [soln] record.  When the stored
+    panel covers the same net set, its layout warm-starts the solver's
+    deterministic repair kernel; either way the result is a pure
+    function of the instance content and the flow seed, so refinement
+    needs no RNG of its own (and benefits from the panel cache when one
+    was given to {!solve}).  [refine.resolve] is a fault-injection site;
+    an expired [deadline] degrades to the cheap repair stages only.
+    [?net] and [?pass] attribute the resulting [panel.resolve] journal
+    event to the net and refinement pass that asked for the re-solve. *)
 val resolve :
   ?deadline:Eda_guard.Deadline.t ->
   ?net:int ->
@@ -85,7 +97,6 @@ val resolve :
   t ->
   key ->
   Eda_sino.Instance.t ->
-  Eda_util.Rng.t ->
   soln
 
 (** [feasible t key] — the stored panel's feasibility; [true] for regions

@@ -6,7 +6,6 @@ module Net = Eda_netlist.Net
 module Netlist = Eda_netlist.Netlist
 module Instance = Eda_sino.Instance
 module Layout = Eda_sino.Layout
-module Rng = Eda_util.Rng
 module Metrics = Eda_obs.Metrics
 module Trace = Eda_obs.Trace
 
@@ -51,7 +50,7 @@ let net_noise ~grid ~gcell_um ~phase2 ~lsk_model net route =
 (* ---------------- Pass 1: eliminate violations --------------------- *)
 
 let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
-    ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
+    ~phase2 ~usage ~lsk_model ~bound_v () =
   let gcell_um = Usage.gcell_um usage in
   let fixes = ref 0 and resolves = ref 0 in
   let rounds = ref 0 in
@@ -145,7 +144,7 @@ let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
                             let inst' = Instance.with_kth soln.Phase2.inst li target in
                             let soln' =
                               Phase2.resolve ~deadline ~net:i ~pass:"pass1"
-                                phase2 key inst' (Rng.split rng)
+                                phase2 key inst'
                             in
                             incr resolves;
                             Metrics.incr m_resolves;
@@ -176,7 +175,7 @@ let pass1 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
 (* ---------------- Pass 2: reduce congestion ------------------------ *)
 
 let pass2 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
-    ~phase2 ~usage ~lsk_model ~bound_v ~rng () =
+    ~phase2 ~usage ~lsk_model ~bound_v () =
   let gcell_um = Usage.gcell_um usage in
   let removed = ref 0 and resolves = ref 0 in
   let lsk_budget = Eda_lsk.Lsk.lsk_bound lsk_model ~noise:bound_v in
@@ -252,7 +251,7 @@ let pass2 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
                     let soln' =
                       Phase2.resolve ~deadline
                         ~net:(Instance.net_id inst_cur li)
-                        ~pass:"pass2" phase2 key inst' (Rng.split rng)
+                        ~pass:"pass2" phase2 key inst'
                     in
                     incr resolves;
                     Metrics.incr m_resolves;
@@ -294,19 +293,18 @@ let pass2 ?pool ?(deadline = Eda_guard.Deadline.none) ~grid ~netlist ~routes
   done;
   (!removed, !resolves)
 
-let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v ~seed
+let run ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model ~bound_v
     ?(deadline = Eda_guard.Deadline.none) ?pool () =
-  let rng = Rng.create seed in
   let gcell_um = Usage.gcell_um usage in
   let p1_fixed, p1_res =
     Trace.span "refine.pass1" (fun () ->
         pass1 ?pool ~deadline ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
-          ~bound_v ~rng ())
+          ~bound_v ())
   in
   let p2_removed, p2_res =
     Trace.span "refine.pass2" (fun () ->
         pass2 ?pool ~deadline ~grid ~netlist ~routes ~phase2 ~usage ~lsk_model
-          ~bound_v ~rng ())
+          ~bound_v ())
   in
   let residual =
     List.length

@@ -17,7 +17,9 @@
     inherently sequential; [?pool] parallelizes only the read-only noise
     scans between them (the per-round violation sweep, pass 2's
     acceptance check, the residual count), so results are identical for
-    any job count. *)
+    any job count.  Refinement carries no RNG of its own: every re-solve
+    goes through {!Phase2.resolve}, whose result is a pure function of
+    the re-bounded instance content and the flow seed. *)
 
 type stats = {
   pass1_nets_fixed : int;  (** violating nets repaired *)
@@ -38,7 +40,6 @@ val run :
   usage:Eda_grid.Usage.t ->
   lsk_model:Eda_lsk.Lsk.t ->
   bound_v:float ->
-  seed:int ->
   ?deadline:Eda_guard.Deadline.t ->
   ?pool:Eda_exec.t ->
   unit ->

@@ -76,7 +76,7 @@ let kth_bucket v =
   if (not (Float.is_finite v)) || v <= 0.0 then min_int / 2
   else int_of_float (Float.round (log v /. log 1.1))
 
-let signature t =
+let wl_colors t =
   let n = size t in
   let color =
     Array.init n (fun i ->
@@ -101,6 +101,10 @@ let signature t =
     done;
     Array.blit next 0 color 0 n
   done;
+  color
+
+let signature_of_colors t color =
+  let n = size t in
   let sorted_colors = Array.copy color in
   Array.sort compare sorted_colors;
   let edges = ref [] in
@@ -120,6 +124,59 @@ let signature t =
       (List.sort compare !edges)
   in
   Printf.sprintf "%016Lx" h
+
+let signature t = signature_of_colors t (wl_colors t)
+
+(* ---------------------- canonical relabeling --------------------------
+   The cache (and the content-determined solver seeding) need more than a
+   permutation-invariant digest: an actual canonical representative.  Net
+   labels are reassigned by sorting on (final WL colour, exact Kth bits),
+   ties broken by the original index.  For automorphic ties any pick
+   yields content-identical canonical forms; for the rare
+   WL-indistinguishable non-automorphic ties two permuted instances may
+   canonicalise differently — the cache's equality check then simply
+   misses, which costs a re-solve, never correctness. *)
+
+type canon = {
+  inst : t;  (** canonical relabeling; its net ids are [0..n-1] *)
+  perm : int array;
+      (** [perm.(c)] = original local index at canonical position [c] *)
+  signature : string;
+}
+
+let canonicalize t =
+  let n = size t in
+  let color = wl_colors t in
+  let perm = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      match compare color.(a) color.(b) with
+      | 0 -> (
+          match
+            compare (Int64.bits_of_float t.kth.(a)) (Int64.bits_of_float t.kth.(b))
+          with
+          | 0 -> compare a b
+          | c -> c)
+      | c -> c)
+    perm;
+  let inst =
+    {
+      nets = Array.init n (fun c -> c);
+      kth = Array.init n (fun c -> t.kth.(perm.(c)));
+      sens = Array.init n (fun c -> Array.init n (fun d -> t.sens.(perm.(c)).(perm.(d))));
+    }
+  in
+  { inst; perm; signature = signature_of_colors t color }
+
+(* Content equality up to net identity: exact Kth bits (the signature
+   only buckets them) and the sensitivity matrix.  Global net ids are
+   deliberately ignored — that is what makes cross-panel sharing work. *)
+let equal_content a b =
+  size a = size b
+  && Array.for_all2
+       (fun x y -> Int64.bits_of_float x = Int64.bits_of_float y)
+       a.kth b.kth
+  && Array.for_all2 (fun ra rb -> ra = rb) a.sens b.sens
 
 let pp fmt t =
   Format.fprintf fmt "sino-instance(%d nets, mean S=%.2f)" (size t)

@@ -42,4 +42,28 @@ val sensitivities : t -> float array
     so duplicate-panel recurrence is measurable before the cache exists. *)
 val signature : t -> string
 
+(** A canonical representative of the instance's content class: the nets
+    relabeled [0..n-1] by sorted (WL colour, exact Kth bits), with the
+    witnessing permutation and the {!signature} (computed from the same
+    WL pass, so asking for both costs one refinement). *)
+type canon = {
+  inst : t;  (** canonical relabeling; its net ids are [0..n-1] *)
+  perm : int array;
+      (** [perm.(c)] = original local index at canonical position [c] *)
+  signature : string;
+}
+
+(** [canonicalize t] — permutation-equivalent instances with
+    discriminating WL colours (in particular, all exact duplicates)
+    canonicalize to content-equal instances; solving the canonical form
+    and mapping local indices through [perm] turns the solver into a
+    function of panel {e content}, which is what the panel cache and the
+    cross-run determinism argument rest on (DESIGN §10). *)
+val canonicalize : t -> canon
+
+(** [equal_content a b] — same size, bit-exact [kth] and identical
+    sensitivity matrix; global net ids are ignored.  The cache's on-hit
+    verification: [signature] collisions cannot pass this. *)
+val equal_content : t -> t -> bool
+
 val pp : Format.formatter -> t -> unit

@@ -326,11 +326,29 @@ let cost inst params slots =
   let shields = Array.fold_left (fun acc v -> if v = shield then acc + 1 else acc) 0 slots in
   float_of_int shields +. violation_cost inst params slots
 
-let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5)
+module Anneal = struct
+  type cooling = Linear | Geometric
+
+  type schedule = { moves : int; t0 : float; t_end : float; cooling : cooling }
+
+  let default = { moves = 4000; t0 = 1.5; t_end = 1e-3; cooling = Linear }
+
+  let temp { moves; t0; t_end; cooling } step =
+    let frac = float_of_int step /. float_of_int moves in
+    match cooling with
+    | Linear -> (t0 *. (1.0 -. frac)) +. t_end
+    | Geometric -> t0 *. ((t_end /. t0) ** frac)
+end
+
+let g_accept_ratio = Metrics.gauge "sino.acceptance_ratio"
+
+let anneal ?(params = Keff.default) ?(schedule = Anneal.default)
     ?(deadline = Deadline.none) rng inst layout =
   let n = Instance.size inst in
   if n <= 1 then layout
   else begin
+    let moves = schedule.Anneal.moves in
+    let accepted = ref 0 and rejected = ref 0 in
     let slots =
       ref
         (Array.map
@@ -353,7 +371,7 @@ let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5)
     do
       let step = !step_ref in
       incr step_ref;
-      let temp = t0 *. (1.0 -. (float_of_int step /. float_of_int moves)) +. 1e-3 in
+      let temp = Anneal.temp schedule step in
       let s = !slots in
       let len = Array.length s in
       (* propose: 0 = swap two tracks, 1 = remove a shield, 2 = move a
@@ -405,6 +423,7 @@ let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5)
           in
           if accept then begin
             Metrics.incr m_accepted;
+            incr accepted;
             slots := t;
             cur_cost := c;
             if c < !best_cost && eligible t then begin
@@ -412,8 +431,14 @@ let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5)
               best := Array.copy t
             end
           end
-          else Metrics.incr m_rejected
+          else begin
+            Metrics.incr m_rejected;
+            incr rejected
+          end
     done;
+    (let total = !accepted + !rejected in
+     if total > 0 then
+       Metrics.set g_accept_ratio (float_of_int !accepted /. float_of_int total));
     (* never return something worse than the input *)
     let input_cost =
       cost inst params
@@ -425,3 +450,241 @@ let anneal ?(params = Keff.default) ?(moves = 4000) ?(t0 = 1.5)
   end
 
 let shields_needed ?params rng inst = Layout.num_shields (min_area ?params rng inst)
+
+(* ---------------- the solve choke point ----------------------------- *)
+
+type mode = Order_only | Min_area
+
+type request = {
+  mode : mode;
+  params : Keff.params;
+  seed : int;
+  retries : int;
+  max_passes : int option;
+  deadline : Deadline.t;
+  fault_site : string option;
+}
+
+let request ?(mode = Min_area) ?(params = Keff.default) ?(retries = 2)
+    ?max_passes ?(deadline = Deadline.none) ?fault_site ~seed () =
+  { mode; params; seed; retries; max_passes; deadline; fault_site }
+
+type disposition = Hit | Miss | Stored
+
+type solution = {
+  layout : Layout.t;
+  acceptable : bool;
+  degraded : bool;
+  attempts : int;
+  cache : disposition option;
+  signature : string;
+}
+
+(* guard.retries is looked up at the event so clean runs export a
+   byte-identical metrics set (see Phase2's matching counters) *)
+let c_retries () = Metrics.counter "guard.retries"
+
+(* Solver-effort accounting around the kernel call: the whole solve runs
+   on one domain, so the deltas of this domain's counter cells are
+   exactly this solve's work.  The deltas are stored with the cache
+   entry and replayed on every hit, which keeps the cumulative sino.*
+   series equal to a cache-off run's for any hit/miss schedule. *)
+type effort_mark = { i0 : int; ins0 : int; rem0 : int; sw0 : int; rep0 : int }
+
+let effort_mark () =
+  {
+    i0 = Metrics.counter_value m_instances;
+    ins0 = Metrics.counter_value m_inserted;
+    rem0 = Metrics.counter_value m_removed;
+    sw0 = Metrics.counter_value m_swaps;
+    rep0 = Metrics.counter_value m_repairs;
+  }
+
+let effort_since mark ~retries =
+  {
+    Cache.instances = Metrics.counter_value m_instances - mark.i0;
+    inserted = Metrics.counter_value m_inserted - mark.ins0;
+    removed = Metrics.counter_value m_removed - mark.rem0;
+    swaps = Metrics.counter_value m_swaps - mark.sw0;
+    repairs = Metrics.counter_value m_repairs - mark.rep0;
+    retries;
+  }
+
+let replay_effort (e : Cache.effort) =
+  Metrics.add m_instances e.Cache.instances;
+  Metrics.add m_inserted e.Cache.inserted;
+  Metrics.add m_removed e.Cache.removed;
+  Metrics.add m_swaps e.Cache.swaps;
+  Metrics.add m_repairs e.Cache.repairs;
+  if e.Cache.retries > 0 then Metrics.add (c_retries ()) e.Cache.retries
+
+let slots_of_layout layout =
+  Array.map
+    (function Layout.Shield -> shield | Layout.Net i -> i)
+    (Layout.slots layout)
+
+(* canonical slot ints -> layout on the original labeling *)
+let layout_on orig canon slots =
+  let perm = canon.Instance.perm in
+  Layout.make orig
+    (Array.map
+       (fun s -> if s = shield then Layout.Shield else Layout.Net perm.(s))
+       slots)
+
+(* 64-bit FNV-1a over ints — digests the warm slots into the cache key *)
+let fnv_ints a =
+  let h = ref 0xcbf29ce484222325L in
+  Array.iter
+    (fun v ->
+      let x = ref (Int64.of_int v) in
+      for _ = 1 to 8 do
+        let b = Int64.logand !x 0xFFL in
+        h := Int64.mul (Int64.logxor !h b) 0x100000001b3L;
+        x := Int64.shift_right_logical !x 8
+      done)
+    a;
+  Printf.sprintf "%016Lx" !h
+
+(* The key covers every input the solution depends on — except the retry
+   budget: the first-feasible attempt index is itself content-determined
+   (streams depend only on signature, seed, attempt), so one entry
+   serves every budget that reaches its recorded depth (the [admit]
+   check at lookup). *)
+let key_of req ~signature ~warm_digest =
+  let p = req.params in
+  Printf.sprintf "%s|%s|k1=%h;sb=%h;w=%d|s=%d|mp=%s%s" signature
+    (match req.mode with Order_only -> "oo" | Min_area -> "ma")
+    p.Keff.k1 p.Keff.shield_block p.Keff.window req.seed
+    (match req.max_passes with None -> "-" | Some m -> string_of_int m)
+    (match warm_digest with None -> "" | Some d -> "|w=" ^ d)
+
+let solve ?cache ?warm req inst =
+  let canon = Instance.canonicalize inst in
+  let cinst = canon.Instance.inst in
+  let signature = canon.Instance.signature in
+  (* inverse of perm: original local index -> canonical position *)
+  let inv =
+    let p = canon.Instance.perm in
+    let a = Array.make (Array.length p) 0 in
+    Array.iteri (fun c orig -> a.(orig) <- c) p;
+    a
+  in
+  let canon_warm =
+    Option.map
+      (fun l ->
+        Array.map
+          (fun s -> if s = shield then shield else inv.(s))
+          (slots_of_layout l))
+      warm
+  in
+  let warm_digest = Option.map fnv_ints canon_warm in
+  let key = key_of req ~signature ~warm_digest in
+  let cacheable = req.mode = Min_area && cache <> None in
+  let cached =
+    if cacheable then
+      Option.bind cache (fun c ->
+          Cache.find c ~params:req.params ~key ~inst:cinst ?warm:canon_warm
+            ~admit:(fun v -> v.Cache.effort.Cache.retries <= req.retries)
+            ())
+    else None
+  in
+  match cached with
+  | Some v ->
+      replay_effort v.Cache.effort;
+      {
+        layout = layout_on inst canon v.Cache.slots;
+        acceptable = true;
+        degraded = false;
+        attempts = 0;
+        cache = Some Hit;
+        signature;
+      }
+  | None -> (
+      let mark = effort_mark () in
+      let fault () = Option.iter Eda_guard.Fault.point req.fault_site in
+      let acceptable l =
+        match req.mode with
+        | Order_only -> true
+        | Min_area -> Layout.feasible l req.params
+      in
+      let finish ~acceptable:ok ~degraded ~attempts ~retries ~crashed clayout =
+        let cslots = slots_of_layout clayout in
+        let store_ok =
+          cacheable && ok && (not degraded) && (not crashed)
+          && not (Deadline.expired req.deadline)
+        in
+        if store_ok then
+          Option.iter
+            (fun c ->
+              Cache.store c ~key ~inst:cinst ?warm:canon_warm
+                { Cache.slots = cslots; effort = effort_since mark ~retries })
+            cache;
+        {
+          layout = layout_on inst canon cslots;
+          acceptable = ok;
+          degraded;
+          attempts;
+          cache =
+            (if not cacheable then None
+             else if store_ok then Some Stored
+             else Some Miss);
+          signature;
+        }
+      in
+      match warm with
+      | Some _ ->
+          (* Phase3 re-solve: deterministic positional repair from the
+             warm layout — no RNG, no ladder.  Repair commutes with
+             relabeling, so running it on the canonical form changes
+             nothing except making the result content-addressed. *)
+          fault ();
+          let cl =
+            repair ~params:req.params ?max_passes:req.max_passes
+              ~deadline:req.deadline cinst
+              (Layout.make cinst
+                 (Array.map
+                    (fun s ->
+                      if s = shield then Layout.Shield else Layout.Net s)
+                    (Option.get canon_warm)))
+          in
+          finish
+            ~acceptable:(acceptable cl)
+            ~degraded:false ~attempts:1 ~retries:0 ~crashed:false cl
+      | None ->
+          let attempt i =
+            (* content-derived stream: identical panels get identical
+               solutions wherever (and in whichever run) they appear *)
+            let rng = Rng.create (Hashtbl.hash (signature, req.seed, i)) in
+            fault ();
+            match req.mode with
+            | Order_only -> order_only rng cinst
+            | Min_area ->
+                min_area ~params:req.params ?max_passes:req.max_passes
+                  ~deadline:req.deadline rng cinst
+          in
+          let rec run i ~crashed =
+            match attempt i with
+            | l when acceptable l ->
+                finish ~acceptable:true ~degraded:false ~attempts:(i + 1)
+                  ~retries:i ~crashed l
+            | l ->
+                if Deadline.expired req.deadline then
+                  (* out of time: keep the best-so-far, tagged degraded *)
+                  finish ~acceptable:false ~degraded:true ~attempts:(i + 1)
+                    ~retries:i ~crashed l
+                else if i < req.retries then begin
+                  Metrics.incr (c_retries ());
+                  run (i + 1) ~crashed
+                end
+                else
+                  (* exhausted: the caller applies its policy *)
+                  finish ~acceptable:false ~degraded:false ~attempts:(i + 1)
+                    ~retries:i ~crashed l
+            | exception
+                Eda_guard.Error.Error (Eda_guard.Error.Worker_crash _)
+              when i < req.retries ->
+                Metrics.incr (c_retries ());
+                run (i + 1) ~crashed:true
+          in
+          run 0 ~crashed:false)
+

@@ -1,4 +1,17 @@
-(** Heuristic solvers for the per-region problems:
+(** Heuristic solvers for the per-region problems.
+
+    {!solve} is the single entry point the flows use (Phase2 per-panel
+    solves and Phase3 re-solves both route through it): it carries the
+    RNG seed, the retry ladder, the deadline and the solve mode in one
+    {!request}, canonicalizes the instance ({!Instance.canonicalize}),
+    derives the RNG stream from the panel's {e content} (signature +
+    seed + attempt), solves the canonical form and maps the result back.
+    That makes the solution a pure function of panel content — identical
+    panels anywhere in a flow (or across runs) get identical layouts —
+    which is what lets the content-addressed {!Cache} short-circuit
+    repeat work without changing a single byte of output (DESIGN §10).
+
+    The low-level kernels remain available for benchmarks and studies:
 
     - {!order_only} is the NO baseline (used by ID+NO): permute the nets on
       the existing tracks to remove as much capacitive coupling (adjacent
@@ -10,15 +23,99 @@
       construct-then-repair heuristic with a shield-removal clean-up
       pass. *)
 
+(** Simulated-annealing temperature schedule (see {!anneal}). *)
+module Anneal : sig
+  type cooling =
+    | Linear  (** T(s) = t0·(1 − s/moves) + t_end *)
+    | Geometric  (** T(s) = t0·(t_end/t0)^(s/moves) *)
+
+  type schedule = { moves : int; t0 : float; t_end : float; cooling : cooling }
+
+  (** 4000 moves, t0 = 1.5, t_end = 1e-3, [Linear] — the historical
+      schedule.  Its low floor is why [sino.moves_rejected] runs an
+      order of magnitude above accepted on integer-ish cost surfaces;
+      read [sino.acceptance_ratio] after a run to calibrate. *)
+  val default : schedule
+end
+
+type mode = Order_only | Min_area
+
+(** Everything one panel solve is parameterized on.  [seed] is the
+    flow-level seed; the per-panel stream is derived from it and the
+    canonical signature, never from the panel's grid position.
+    [retries] reseeded re-attempts are made when a [Min_area] solve
+    comes back infeasible (and when a worker crash is injected at
+    [fault_site]); policy on exhaustion stays with the caller, which
+    owns the panel context. *)
+type request = {
+  mode : mode;
+  params : Keff.params;
+  seed : int;
+  retries : int;
+  max_passes : int option;  (** repair-loop bound; default 10·size *)
+  deadline : Eda_guard.Deadline.t;
+  fault_site : string option;
+      (** fault-injection point name pulled per attempt, e.g.
+          ["phase2.solve"]; [None] disables the site *)
+}
+
+val request :
+  ?mode:mode ->
+  ?params:Keff.params ->
+  ?retries:int ->
+  ?max_passes:int ->
+  ?deadline:Eda_guard.Deadline.t ->
+  ?fault_site:string ->
+  seed:int ->
+  unit ->
+  request
+(** Defaults: [Min_area], {!Keff.default}, 2 retries, no [max_passes]
+    override, no deadline, no fault site. *)
+
+(** How the cache participated in a solve; [panel.solve] journal events
+    carry it as the ["cache"] dimension. *)
+type disposition = Hit | Miss | Stored
+
+type solution = {
+  layout : Layout.t;  (** on the {e original} instance's labeling *)
+  acceptable : bool;
+      (** mode-aware: [Order_only] always; [Min_area] = feasible under
+          [params].  The caller applies its infeasibility policy when
+          [false]. *)
+  degraded : bool;
+      (** the deadline expired before an acceptable layout was reached;
+          [layout] is the best effort *)
+  attempts : int;  (** ladder attempts consumed (0 on a cache hit) *)
+  cache : disposition option;  (** [None] when no cache was supplied *)
+  signature : string;  (** canonical signature, for journaling *)
+}
+
+(** [solve ?cache ?warm request inst] — the choke point.  With [warm]
+    (Phase3's re-solve of the same net set under changed bounds) the
+    deterministic {!repair} kernel runs from the warm layout; otherwise
+    the {!min_area} / {!order_only} ladder runs with content-derived
+    reseeding.  With [cache], [Min_area] results are memoized under a
+    key covering signature, Keff parameters, seed, retries, max_passes
+    and (for warm solves) a digest of the warm slots; hits are verified
+    by content equality plus the {!Bound.shield_lower_bound} cross-check
+    and replay the recorded solver-effort counters, so cumulative
+    [sino.*] series match a cache-off run exactly.  Degraded, crashed or
+    unacceptable results are never stored.
+
+    Raises [Eda_guard.Error.Error (Worker_crash _)] when the fault site
+    crashes the final attempt — the caller decides between failing and
+    falling back, as it did before the redesign. *)
+val solve : ?cache:Cache.t -> ?warm:Layout.t -> request -> Instance.t -> solution
+
 (** [order_only rng inst] — greedy ordering plus adjacent-swap improvement.
     The layout has exactly [size inst] tracks and no shields. *)
 val order_only : Eda_util.Rng.t -> Instance.t -> Layout.t
 
 (** [min_area ?params ?max_passes ?deadline rng inst] — feasible layout
     unless the instance is pathologically tight, in which case the best
-    effort is returned (check {!Layout.feasible}; [Gsino.Phase2] counts
-    and retries these).  [max_passes] bounds the repair loop (default
-    6 · size).  An expired [deadline] skips the improvement stages at
+    effort is returned (check {!Layout.feasible}; {!solve} counts and
+    retries these).  [max_passes] bounds the repair loop (default
+    10 · size).  An expired [deadline] skips the improvement stages at
     their pass boundaries — the result is always a valid layout, just
     less optimized (greedy order + capacitive fix still run). *)
 val min_area :
@@ -35,7 +132,9 @@ val min_area :
     add shields where bounds are now violated, then drop shields the new
     bounds no longer need.  Much cheaper than {!min_area} from scratch and
     minimally disturbs the other nets' couplings.  [layout] must belong to
-    an instance with the same nets in the same order. *)
+    an instance with the same nets in the same order.  Deterministic (no
+    RNG) and positional, so it commutes with net relabeling — which is
+    why {!solve} may run it on the canonical form and map back. *)
 val repair :
   ?params:Keff.params ->
   ?max_passes:int ->
@@ -44,18 +143,19 @@ val repair :
   Layout.t ->
   Layout.t
 
-(** [anneal ?params ?moves ?t0 rng inst layout] — simulated-annealing
+(** [anneal ?params ?schedule rng inst layout] — simulated-annealing
     improvement of a feasible layout: random adjacent swaps, shield
     removals and shield moves, accepted by the Metropolis rule on the cost
-    [#shields + big · violations].  SINO is NP-hard; this quantifies how
+    [#shields + big · violations] under [schedule]'s temperature curve
+    (default {!Anneal.default}).  SINO is NP-hard; this quantifies how
     far the greedy {!min_area} heuristic is from a slower, stronger
     optimizer (the bench's solver ablation).  Returns a layout no worse
     than the input.  [deadline] is polled every 256 moves; on expiry the
-    best-so-far layout is returned. *)
+    best-so-far layout is returned.  Each call publishes this run's
+    accepted/(accepted+rejected) as the [sino.acceptance_ratio] gauge. *)
 val anneal :
   ?params:Keff.params ->
-  ?moves:int ->
-  ?t0:float ->
+  ?schedule:Anneal.schedule ->
   ?deadline:Eda_guard.Deadline.t ->
   Eda_util.Rng.t ->
   Instance.t ->

@@ -163,15 +163,18 @@ let tech = Tech.default
 
 (* exec.* series are expected to differ (they describe the pool itself);
    gc.* deltas depend on what the coordinator domain happened to
-   allocate; flow.phase_seconds is wall-clock.  Everything else must
-   match — the same volatile-prefix set bench/regression_policy.json
-   excludes. *)
+   allocate; flow.phase_seconds is wall-clock; sino.cache_* hit/miss
+   counts depend on which domain reaches a duplicate panel first (the
+   solutions themselves are schedule-independent — DESIGN §10).
+   Everything else must match — the same volatile-prefix set
+   bench/regression_policy.json excludes. *)
 let comparable snap =
   List.filter
     (fun (name, _, _) ->
       name <> "flow.phase_seconds"
       && (not (String.starts_with ~prefix:"exec." name))
-      && not (String.starts_with ~prefix:"gc." name))
+      && (not (String.starts_with ~prefix:"gc." name))
+      && not (String.starts_with ~prefix:"sino.cache_" name))
     (Metrics.entries snap)
 
 let gsino_with ~jobs =
@@ -206,26 +209,6 @@ let test_flow_jobs_deterministic () =
       Alcotest.(check bool) (n1 ^ " value equal") true (v1 = v2))
     m1 m4
 
-let test_run_legacy_shim () =
-  let nl =
-    Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale:0.02 ~seed:7
-      Generator.ibm01
-  in
-  let grid, base = Flow.prepare tech nl in
-  let sens = Sensitivity.make ~seed:11 ~rate:0.30 in
-  let r_new =
-    Flow.run ~grid ~base
-      { Flow.Config.default with Flow.Config.kind = Flow.Isino; seed = 3 }
-      tech ~sensitivity:sens nl
-  in
-  let[@warning "-3"] r_old =
-    Flow.run_legacy tech ~sensitivity:sens ~seed:3 ~grid ~base nl Flow.Isino
-  in
-  Alcotest.(check int) "same shields" r_new.Flow.shields r_old.Flow.shields;
-  Alcotest.(check (float 1e-9)) "same wire length" r_new.Flow.total_wl_um
-    r_old.Flow.total_wl_um;
-  Alcotest.(check bool) "same routes" true (r_new.Flow.routes = r_old.Flow.routes)
-
 let suites =
   [
     ( "exec.pool",
@@ -253,6 +236,5 @@ let suites =
       [
         Alcotest.test_case "gsino flow jobs=4 = jobs=1" `Slow
           test_flow_jobs_deterministic;
-        Alcotest.test_case "run_legacy shim" `Slow test_run_legacy_shim;
       ] );
   ]

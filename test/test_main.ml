@@ -22,4 +22,5 @@ let () =
          Test_journal.suites;
          Test_reportviz.suites;
          Test_exec.suites;
+        Test_cache.suites;
        ])

@@ -39,7 +39,7 @@ let setup =
      in
      let stats =
        Refine.run ~grid ~netlist:nl ~routes:base ~phase2 ~usage ~lsk_model
-         ~bound_v:tech.Tech.noise_bound_v ~seed:31 ()
+         ~bound_v:tech.Tech.noise_bound_v ()
      in
      (nl, grid, base, phase2, usage, pre_violations, stats))
 
@@ -80,7 +80,7 @@ let test_idempotent () =
   let lsk_model = Tech.lsk_model tech in
   let stats2 =
     Refine.run ~grid ~netlist:nl ~routes:base ~phase2 ~usage ~lsk_model
-      ~bound_v:tech.Tech.noise_bound_v ~seed:77 ()
+      ~bound_v:tech.Tech.noise_bound_v ()
   in
   Alcotest.(check int) "no new fixes" 0 stats2.Refine.pass1_nets_fixed;
   Alcotest.(check int) "still zero residual" 0 stats2.Refine.residual_violations
