@@ -9,7 +9,8 @@
    mirror Eda_guard.Error.exit_code: 0 success (possibly degraded),
    1 findings/regression breach, 2 usage or input error, 3 infeasible
    (under the Fail policy), 4 deadline with nothing to degrade to,
-   5 internal error (singular matrix, worker crash, non-finite value).
+   5 internal error (singular matrix, worker crash, non-finite value),
+   6 server overloaded (serve backpressure), 7 peer/stream i/o failure.
    Every failure leaves through one funnel (guard_exceptions) as a coded
    GSL diagnostic — no uncaught exception reaches the user. *)
 open Cmdliner
@@ -30,10 +31,21 @@ let exit_usage = 2
 let exit_infeasible = 3
 let exit_deadline = 4
 let exit_internal = 5
+let exit_overload = 6
+let exit_io = 7
 
 (* referenced here so the constants stay in sync with the taxonomy by
    inspection; Error.exit_code is the authoritative mapping *)
-let _ = (exit_infeasible, exit_deadline, exit_internal)
+let _ = (exit_infeasible, exit_deadline, exit_internal, exit_overload, exit_io)
+
+(* A closed stdout/stderr/socket must surface as a typed Io error (exit
+   7) through the funnel below, not kill the process: without this a
+   pager quitting mid-report delivers SIGPIPE and the run dies with no
+   diagnostic.  Unix writes then fail with EPIPE (mapped by
+   Error.of_exn); stdio channels raise the equivalent Sys_error. *)
+let () =
+  if Sys.os_type = "Unix" then
+    ignore (Sys.signal Sys.sigpipe Sys.Signal_ignore)
 
 (* ---------------- shared flags ---------------- *)
 
@@ -287,7 +299,8 @@ let diag_of_error e =
           (Diag.Region
              (region, if dir = "V" then Eda_grid.Dir.V else Eda_grid.Dir.H))
     | Error.Parse _ | Error.Singular_matrix _ | Error.Deadline _
-    | Error.Worker_crash _ | Error.Nonfinite _ ->
+    | Error.Worker_crash _ | Error.Nonfinite _ | Error.Frame _
+    | Error.Overload _ | Error.Io _ ->
         None
   in
   Diag.make ~code:(Error.gsl_code e) Diag.Error ?locus (Error.to_string e)

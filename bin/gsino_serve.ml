@@ -1,0 +1,310 @@
+(* gsino_serve — the routing daemon and its thin client.
+
+   `gsino_serve daemon` runs the fault-isolated routing service on a
+   Unix-domain socket (gsino-serve-v1 framed protocol): concurrent
+   request domains, bounded admission queue, per-request deadlines,
+   graceful SIGTERM/SIGINT drain.  `route`/`ping`/`stats` are the
+   client: `route` builds the same netlist the batch drivers would,
+   sends it, and writes the returned artifacts to the standard sink
+   flags — so `gsino_serve route` is a drop-in for `gsino_lint` with
+   the computation happening in the daemon.
+
+   Exit codes mirror the batch drivers (see cli_common): a framed error
+   response exits with the code the batch CLI would have used; client
+   i/o failures (daemon unreachable, mid-read disconnect) exit 7. *)
+open Cmdliner
+open Gsino
+module C = Cli_common
+module Server = Eda_serve.Server
+module Client = Eda_serve.Client
+module Protocol = Eda_serve.Protocol
+module Io = Eda_netlist.Io
+module Error = Eda_guard.Error
+module Diag = Eda_check.Diag
+module Log = Eda_obs.Log
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  let env = Cmd.Env.info "GSINO_SERVE_SOCKET" ~doc:"Default for $(b,--socket)." in
+  Arg.(value & opt string "gsino.sock" & info [ "socket" ] ~docv:"PATH" ~env ~doc)
+
+let apply_verbosity ~verbose ~quiet =
+  if quiet then Log.set_level Log.Quiet
+  else if verbose then Log.set_level (Log.Level Log.Debug)
+
+(* ---------------- daemon ---------------- *)
+
+let workers_arg =
+  let doc = "Concurrent request domains (each serves one request at a time)." in
+  Arg.(value & opt int Server.default_config.Server.workers
+     & info [ "w"; "workers" ] ~docv:"N" ~doc)
+
+let queue_bound_arg =
+  let doc =
+    "Admission queue bound: requests beyond $(docv) queued-but-unstarted \
+     are rejected with a typed 'overloaded' error (GSL0031) instead of \
+     queueing without bound."
+  in
+  Arg.(value & opt int Server.default_config.Server.queue_bound
+     & info [ "queue-bound" ] ~docv:"N" ~doc)
+
+let max_frame_arg =
+  let doc = "Largest request frame accepted, in bytes." in
+  Arg.(value & opt int Protocol.max_frame_default
+     & info [ "max-frame" ] ~docv:"BYTES" ~doc)
+
+let request_deadline_arg =
+  let doc =
+    "Cap every request's wall-clock budget at $(docv) milliseconds \
+     (0 = requests choose their own).  Expiry degrades the request to \
+     its best-so-far result, exactly like the batch $(b,--deadline)."
+  in
+  Arg.(value & opt int 0 & info [ "request-deadline" ] ~docv:"MS" ~doc)
+
+let drain_ms_arg =
+  let doc =
+    "On SIGTERM/SIGINT, grace period before in-flight requests are \
+     deadline-cancelled (they finish degraded); 0 waits for natural \
+     completion."
+  in
+  Arg.(value & opt int 0 & info [ "drain-ms" ] ~docv:"MS" ~doc)
+
+let read_timeout_arg =
+  let doc = "Per-wait stall bound while reading a request frame, seconds." in
+  Arg.(value & opt float Server.default_config.Server.read_timeout_s
+     & info [ "read-timeout" ] ~docv:"S" ~doc)
+
+let daemon socket workers jobs queue_bound max_frame request_deadline drain_ms
+    read_timeout panel_cache sinks progress verbose quiet =
+  ignore (C.claim_stdout ~prog:"gsino_serve" sinks);
+  C.with_obs ~prog:"gsino_serve" ~progress ~sinks ~verbose ~quiet @@ fun () ->
+  let _, cache_dir = panel_cache in
+  Server.run
+    {
+      Server.socket;
+      workers;
+      jobs;
+      queue_bound;
+      max_frame;
+      request_deadline_ms = request_deadline;
+      drain_ms;
+      read_timeout_s = read_timeout;
+      cache_dir;
+    };
+  C.exit_ok
+
+let daemon_cmd =
+  let doc = "Run the routing daemon (drains gracefully on SIGTERM/SIGINT)" in
+  Cmd.v
+    (Cmd.info "daemon" ~doc)
+    Term.(
+      const daemon $ socket_arg $ workers_arg $ C.jobs_arg $ queue_bound_arg
+      $ max_frame_arg $ request_deadline_arg $ drain_ms_arg $ read_timeout_arg
+      $ C.panel_cache_term
+      $ C.Sinks.(term [ Metrics ])
+      $ C.progress_arg $ C.verbose_arg $ C.quiet_arg)
+
+(* ---------------- client: route ---------------- *)
+
+let kind_arg =
+  let doc = "Flow to run remotely: 'id-no', 'isino' or 'gsino'." in
+  Arg.(value
+     & opt
+         (enum
+            [ ("id-no", Flow.Id_no); ("isino", Flow.Isino); ("gsino", Flow.Gsino) ])
+         Flow.Gsino
+     & info [ "k"; "kind" ] ~docv:"KIND" ~doc)
+
+let timeout_arg =
+  let doc = "Give up waiting for the daemon's response after $(docv) seconds \
+             (0 = wait forever)." in
+  Arg.(value & opt float 0.0 & info [ "timeout" ] ~docv:"S" ~doc)
+
+let netlist_file_arg =
+  C.netlist_file_arg
+    ~doc:"Route FILE (gsino-netlist v1) instead of a generated circuit."
+
+let write_artifact ~claimed sink contents =
+  match sink with
+  | None -> ()
+  | Some "-" ->
+      ignore claimed;
+      print_string contents
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc contents)
+
+let finding_is_error line =
+  match String.split_on_char ' ' line with
+  | _code :: sev :: _ -> sev = "E"
+  | _ :: [] | [] -> false
+
+let report_remote_error ~pretty (gsl, exit_code, message) =
+  let d = Diag.make ~code:gsl Diag.Error message in
+  if pretty then Format.eprintf "%a@." Diag.pp d
+  else prerr_endline (Diag.to_line d);
+  exit exit_code
+
+let route socket timeout circuit scale seed rate router budgeting kind deadline
+    netlist_file pretty sinks verbose quiet =
+  let claimed = C.claim_stdout ~prog:"gsino_serve" sinks in
+  let out = C.out_formatter ~claimed in
+  apply_verbosity ~verbose ~quiet;
+  C.guard_exceptions ~pretty @@ fun () ->
+  let tech = Tech.default in
+  let netlist = C.netlist_of tech ~circuit ~scale ~seed netlist_file in
+  let artifacts =
+    List.filter_map
+      (fun (kind, art) ->
+        match C.Sinks.get sinks kind with Some _ -> Some art | None -> None)
+      [
+        (C.Sinks.Report, Protocol.Report);
+        (C.Sinks.Metrics, Protocol.Metrics);
+        (C.Sinks.Journal, Protocol.Journal);
+        (C.Sinks.Trace, Protocol.Trace);
+      ]
+  in
+  let options =
+    {
+      Protocol.kind;
+      router;
+      budgeting;
+      seed;
+      rate;
+      deadline_ms = deadline;
+      artifacts;
+    }
+  in
+  let timeout_s = if timeout > 0.0 then Some timeout else None in
+  let response =
+    Client.request ?timeout_s socket
+      (Protocol.Route { netlist = Io.to_string netlist; options })
+  in
+  match response with
+  | Protocol.Result { status; summary; findings; artifacts } ->
+      (* response artifacts go straight to their sinks: they are the
+         daemon's bytes, not this process's registries, so they must not
+         pass through the with_obs flush *)
+      List.iter
+        (fun (name, contents) ->
+          let sink =
+            match Protocol.artifact_of_name name with
+            | Some Protocol.Report -> C.Sinks.get sinks C.Sinks.Report
+            | Some Protocol.Metrics -> C.Sinks.get sinks C.Sinks.Metrics
+            | Some Protocol.Journal -> C.Sinks.get sinks C.Sinks.Journal
+            | Some Protocol.Trace -> C.Sinks.get sinks C.Sinks.Trace
+            | None -> None
+          in
+          write_artifact ~claimed sink contents)
+        artifacts;
+      List.iter (fun line -> Format.fprintf out "%s@." line) findings;
+      Format.fprintf out "gsino_serve: %s: %s@." status summary;
+      if List.exists finding_is_error findings then C.exit_findings
+      else C.exit_ok
+  | Protocol.Err { gsl; exit_code; message; cls = _ } ->
+      report_remote_error ~pretty (gsl, exit_code, message)
+  | Protocol.Pong | Protocol.Stats_reply _ ->
+      report_remote_error ~pretty
+        (22, C.exit_internal, "unexpected response kind to a route request")
+
+let route_cmd =
+  let doc = "Route one netlist via the daemon (batch-CLI-compatible output)" in
+  Cmd.v
+    (Cmd.info "route" ~doc)
+    Term.(
+      const route $ socket_arg $ timeout_arg $ C.circuit_arg
+      $ C.scale_arg ~default:0.02 () $ C.seed_arg $ C.rate_arg $ C.router_arg
+      $ C.budgeting_arg $ kind_arg $ C.deadline_arg $ netlist_file_arg
+      $ Arg.(value & flag & info [ "pretty" ] ~doc:"Human-readable diagnostics.")
+      $ C.Sinks.(term [ Trace; Metrics; Journal; Report ])
+      $ C.verbose_arg $ C.quiet_arg)
+
+(* ---------------- client: ping / stats ---------------- *)
+
+let ping socket timeout verbose quiet =
+  apply_verbosity ~verbose ~quiet;
+  C.guard_exceptions @@ fun () ->
+  let timeout_s = if timeout > 0.0 then Some timeout else None in
+  match Client.request ?timeout_s socket Protocol.Ping with
+  | Protocol.Pong ->
+      print_endline "pong";
+      C.exit_ok
+  | Protocol.Err { gsl; exit_code; message; cls = _ } ->
+      report_remote_error ~pretty:false (gsl, exit_code, message)
+  | Protocol.Stats_reply _ | Protocol.Result _ ->
+      report_remote_error ~pretty:false
+        (22, C.exit_internal, "unexpected response kind to a ping")
+
+let ping_cmd =
+  let doc = "Liveness-probe the daemon" in
+  Cmd.v
+    (Cmd.info "ping" ~doc)
+    Term.(const ping $ socket_arg $ timeout_arg $ C.verbose_arg $ C.quiet_arg)
+
+let print_stats (s : Protocol.stats) =
+  Printf.printf "uptime_s: %.1f\n" s.Protocol.uptime_s;
+  Printf.printf "served: %d\n" s.Protocol.served;
+  Printf.printf "errors: %d\n" s.Protocol.errors;
+  Printf.printf "disconnects: %d\n" s.Protocol.disconnects;
+  List.iter
+    (fun (reason, n) -> Printf.printf "rejected{%s}: %d\n" reason n)
+    s.Protocol.rejected;
+  Printf.printf "queue_depth: %d\n" s.Protocol.queue_depth;
+  Printf.printf "active: %d\n" s.Protocol.active;
+  Printf.printf "workers: %d\n" s.Protocol.workers;
+  Printf.printf "jobs: %d\n" s.Protocol.jobs;
+  Printf.printf "cache_len: %d\n" s.Protocol.cache_len;
+  Printf.printf "draining: %b\n" s.Protocol.draining
+
+let stats socket timeout json verbose quiet =
+  apply_verbosity ~verbose ~quiet;
+  C.guard_exceptions @@ fun () ->
+  let timeout_s = if timeout > 0.0 then Some timeout else None in
+  match Client.request ?timeout_s socket Protocol.Stats with
+  | Protocol.Stats_reply s ->
+      (if json then
+         print_endline
+           (Eda_obs.Json.to_string
+              (Protocol.response_to_json (Protocol.Stats_reply s)))
+       else print_stats s);
+      C.exit_ok
+  | Protocol.Err { gsl; exit_code; message; cls = _ } ->
+      report_remote_error ~pretty:false (gsl, exit_code, message)
+  | Protocol.Pong | Protocol.Result _ ->
+      report_remote_error ~pretty:false
+        (22, C.exit_internal, "unexpected response kind to a stats request")
+
+let stats_cmd =
+  let doc = "Print the daemon's health counters" in
+  Cmd.v
+    (Cmd.info "stats" ~doc)
+    Term.(
+      const stats $ socket_arg $ timeout_arg
+      $ Arg.(value & flag & info [ "json" ] ~doc:"Raw gsino-serve-v1 JSON.")
+      $ C.verbose_arg $ C.quiet_arg)
+
+let cmd =
+  let doc = "Routing as a service: daemon and thin client" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "The daemon serves concurrent GSINO routing requests over a \
+         Unix-domain socket with per-request fault isolation: a malformed \
+         frame, an oversized request, a router failure, an injected fault \
+         or an expired deadline degrades only that request — the daemon \
+         keeps serving.  Admission is bounded (typed 'overloaded' rejects), \
+         disconnected clients cancel their in-flight work, and \
+         SIGTERM/SIGINT drains gracefully: stop accepting, finish what is \
+         running, flush the panel cache, exit 0.";
+      `P
+        "The client subcommands speak the gsino-serve-v1 framed protocol; \
+         $(b,route) mirrors $(b,gsino_lint)'s flags and output, with the \
+         flow executed by the daemon against its warm shared panel cache.";
+    ]
+  in
+  Cmd.group (Cmd.info "gsino_serve" ~version:"1.0.0" ~doc ~man)
+    [ daemon_cmd; route_cmd; ping_cmd; stats_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -168,12 +168,18 @@ let demand_quantile usage grid q dir =
     (Array.init (Grid.num_regions grid) (fun r -> Usage.nns usage r dir))
     q
 
-let prepare ?(config = Config.default) tech netlist =
+(* A caller-supplied pool (the serve daemon's per-worker pool) outlives
+   the call; otherwise a [config.jobs]-domain pool lives for its
+   duration. *)
+let with_pool_opt ~jobs ext f =
+  match ext with Some pool -> f pool | None -> Eda_exec.with_pool ~jobs f
+
+let prepare ?(config = Config.default) ?pool tech netlist =
   Trace.span_args "flow:prepare"
     [ ("circuit", netlist.Netlist.name) ]
   @@ fun () ->
   let { Config.router; cap_quantile; jobs; _ } = config in
-  Eda_exec.with_pool ~jobs @@ fun pool ->
+  with_pool_opt ~jobs pool @@ fun pool ->
   (* Pass 1: route with loose auto-capacities to observe regional demand.
      Pass 2: clamp the capacities near the top of that demand and
      re-route, so the conventional router is balancing right at the edge
@@ -193,7 +199,8 @@ let prepare ?(config = Config.default) tech netlist =
   let base = base_routes ~router ~pool tech grid netlist in
   (grid, base)
 
-let run ?grid ?base config tech ~sensitivity netlist =
+let run ?grid ?base ?pool ?cache:ext_cache ?deadline config tech ~sensitivity
+    netlist =
   let {
     Config.kind;
     router;
@@ -210,7 +217,11 @@ let run ?grid ?base config tech ~sensitivity netlist =
   } =
     config
   in
-  let deadline = Eda_guard.Deadline.start ~budget_ms:deadline_ms in
+  let deadline =
+    match deadline with
+    | Some d -> d
+    | None -> Eda_guard.Deadline.start ~budget_ms:deadline_ms
+  in
   Progress.set_deadline (fun () -> Eda_guard.Deadline.remaining_ms deadline);
   Metrics.incr m_runs;
   Trace.span_args "flow:run"
@@ -220,7 +231,7 @@ let run ?grid ?base config tech ~sensitivity netlist =
       ("jobs", string_of_int jobs);
     ]
   @@ fun () ->
-  Eda_exec.with_pool ~jobs @@ fun pool ->
+  with_pool_opt ~jobs pool @@ fun pool ->
   let grid = match grid with Some g -> g | None -> Tech.grid_for tech netlist in
   if audit then audit_prepass config tech grid ~sensitivity netlist;
   let lsk_model = Tech.lsk_model tech in
@@ -259,15 +270,22 @@ let run ?grid ?base config tech ~sensitivity netlist =
   let mode =
     match kind with Id_no -> Phase2.Order_only | Isino | Gsino -> Phase2.Min_area
   in
-  (* The panel cache is per-run unless [cache_dir] makes it persistent.
-     Solutions are content-determined either way, so enabling it never
-     changes a byte of output (DESIGN §10) — it only skips repeat work. *)
-  let cache =
-    if not cache_on then None
-    else
-      match cache_dir with
-      | Some dir -> Some (Eda_sino.Cache.load dir)
-      | None -> Some (Eda_sino.Cache.create ())
+  (* The panel cache is per-run unless [cache_dir] makes it persistent,
+     or the caller supplies one (the serve daemon's shared warm cache,
+     whose lifecycle — load at startup, save at drain — the caller then
+     owns).  Solutions are content-determined either way, so enabling it
+     never changes a byte of output (DESIGN §10) — it only skips repeat
+     work. *)
+  let cache, owns_cache =
+    match ext_cache with
+    | Some c -> ((if cache_on then Some c else None), false)
+    | None ->
+        ( (if not cache_on then None
+           else
+             match cache_dir with
+             | Some dir -> Some (Eda_sino.Cache.load dir)
+             | None -> Some (Eda_sino.Cache.create ())),
+          true )
   in
   let phase2, sino_s =
     timed_phase "sino" (fun () ->
@@ -289,7 +307,7 @@ let run ?grid ?base config tech ~sensitivity netlist =
         (Some stats, s)
   in
   (match (cache, cache_dir) with
-  | Some c, Some dir -> Eda_sino.Cache.save c dir
+  | Some c, Some dir when owns_cache -> Eda_sino.Cache.save c dir
   | _ -> ());
   Log.debug
     ~fields:[ ("kind", kind_name kind); ("circuit", netlist.Netlist.name) ]

@@ -142,9 +142,11 @@ val demand_quantile :
     exactly accommodates conventional routing (ID+NO area = placement
     area in Table 3) and all of iSINO's/GSINO's area overhead comes from
     shields.  Uses [config]'s [router], [cap_quantile] and [jobs]
-    (default {!Config.default}). *)
+    (default {!Config.default}); [pool] reuses a caller-owned domain pool
+    instead of spawning one. *)
 val prepare :
   ?config:Config.t ->
+  ?pool:Eda_exec.t ->
   Tech.t ->
   Eda_netlist.Netlist.t ->
   Eda_grid.Grid.t * Eda_grid.Route.t array
@@ -153,10 +155,26 @@ val prepare :
     described by [config].  Pass the [grid] and [base] from {!prepare} so
     the three approaches share one setup ([base] is ignored by [Gsino],
     which re-routes shield-aware).  A [config.jobs]-domain pool lives for
-    the duration of the call. *)
+    the duration of the call.
+
+    The remaining optionals make the flow reentrant for a long-lived
+    server, which owns these resources across many runs:
+    - [pool] reuses a caller-owned {!Eda_exec} pool ([config.jobs] is
+      then ignored for pool sizing);
+    - [cache] uses a caller-owned panel cache, staying warm across runs;
+      its load/save lifecycle belongs to the caller ([config.cache_dir]
+      is not read or written; [config.cache = false] still disables
+      memoization for the run);
+    - [deadline] supplies an externally armed (possibly cancellable)
+      deadline instead of starting one from [config.deadline_ms] —
+      cancellation degrades the run at the next checkpoint exactly like
+      time expiry. *)
 val run :
   ?grid:Eda_grid.Grid.t ->
   ?base:Eda_grid.Route.t array ->
+  ?pool:Eda_exec.t ->
+  ?cache:Eda_sino.Cache.t ->
+  ?deadline:Eda_guard.Deadline.t ->
   Config.t ->
   Tech.t ->
   sensitivity:Eda_netlist.Sensitivity.t ->

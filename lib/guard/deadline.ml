@@ -1,6 +1,7 @@
 type state = {
-  until : float;
+  until : float; (* [infinity] for a cancel-only deadline *)
   budget_ms : int;
+  cancelled : bool Atomic.t;
   mu : Mutex.t;
   mutable hits : string list; (* reverse chronological *)
 }
@@ -15,24 +16,41 @@ let none = None
    measures real elapsed runtime. *)
 let now = Eda_obs.Clock.now_s
 
+let make ~budget_ms ~until =
+  {
+    until;
+    budget_ms;
+    cancelled = Atomic.make false;
+    mu = Mutex.create ();
+    hits = [];
+  }
+
 let start ~budget_ms =
   if budget_ms <= 0 then None
   else
-    Some
-      {
-        until = now () +. (float_of_int budget_ms /. 1000.0);
-        budget_ms;
-        mu = Mutex.create ();
-        hits = [];
-      }
+    Some (make ~budget_ms ~until:(now () +. (float_of_int budget_ms /. 1000.0)))
+
+let cancellable ?(budget_ms = 0) () =
+  if budget_ms <= 0 then Some (make ~budget_ms:0 ~until:infinity)
+  else Some (make ~budget_ms ~until:(now () +. (float_of_int budget_ms /. 1000.0)))
 
 let budget_ms = function None -> 0 | Some s -> s.budget_ms
-let expired = function None -> false | Some s -> now () >= s.until
+let cancel = function None -> () | Some s -> Atomic.set s.cancelled true
+let cancelled = function None -> false | Some s -> Atomic.get s.cancelled
+
+let expired = function
+  | None -> false
+  | Some s -> Atomic.get s.cancelled || now () >= s.until
 
 let remaining_ms = function
   | None -> None
+  | Some s when s.until = infinity ->
+      (* cancel-only deadline: no time budget to report *)
+      if Atomic.get s.cancelled then Some 0 else None
   | Some s ->
-      Some (max 0 (int_of_float (Float.ceil ((s.until -. now ()) *. 1000.0))))
+      if Atomic.get s.cancelled then Some 0
+      else
+        Some (max 0 (int_of_float (Float.ceil ((s.until -. now ()) *. 1000.0))))
 
 let mark t ~phase =
   match t with

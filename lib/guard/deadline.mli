@@ -25,14 +25,36 @@ val none : t
     is {!none}. *)
 val start : budget_ms:int -> t
 
-(** The budget this deadline was created with; 0 for {!none}. *)
+(** [cancellable ?budget_ms ()] — a deadline that can additionally be
+    tripped externally with {!cancel} (client disconnect, server drain).
+    Unlike {!start}, the result is never {!none}: with [budget_ms <= 0]
+    (the default) it has no time budget — it only expires when
+    cancelled — so a cancel checkpoint costs one atomic load.  The serve
+    daemon arms one per request. *)
+val cancellable : ?budget_ms:int -> unit -> t
+
+(** [cancel t] — trip the deadline now (thread- and domain-safe,
+    idempotent, signal-handler-safe: one atomic store).  After this
+    {!expired} is [true] and in-flight work degrades at its next
+    checkpoint exactly as on time expiry.  No-op on {!none}. *)
+val cancel : t -> unit
+
+(** Has {!cancel} been called?  (Distinguishes "client went away / drain"
+    from "budget ran out" in server bookkeeping; both read as
+    {!expired}.) *)
+val cancelled : t -> bool
+
+(** The budget this deadline was created with; 0 for {!none} and for
+    cancel-only deadlines. *)
 val budget_ms : t -> int
 
 (** Has the budget been exhausted?  Cheap enough for inner loops. *)
 val expired : t -> bool
 
-(** Milliseconds of budget left (clamped at 0); [None] for {!none}.
-    Feeds the [--progress] heartbeat's "deadline left" column. *)
+(** Milliseconds of budget left (clamped at 0); [None] for {!none} and
+    for a cancel-only deadline that has not been cancelled ([Some 0] once
+    it has).  Feeds the [--progress] heartbeat's "deadline left"
+    column. *)
 val remaining_ms : t -> int option
 
 (** [mark t ~phase] — record that [phase] was truncated (idempotent per

@@ -8,6 +8,9 @@ type t =
   | Deadline of { phase : string; budget_ms : int }
   | Worker_crash of { site : string; msg : string }
   | Nonfinite of { site : string; what : string }
+  | Frame of { what : string; detail : string }
+  | Overload of { reason : string; depth : int }
+  | Io of { site : string; msg : string }
 
 exception Error of t
 
@@ -19,10 +22,14 @@ let class_name = function
   | Deadline _ -> "deadline-exceeded"
   | Worker_crash _ -> "worker-crash"
   | Nonfinite _ -> "nonfinite-value"
+  | Frame _ -> "bad-frame"
+  | Overload _ -> "overloaded"
+  | Io _ -> "io-error"
 
 (* The single error-class -> GSL diagnostic code mapping (README table).
    Codes 1..16 belong to the Eda_check invariant rules and 17..19 to the
-   runtime findings they can also report; 20..23 are error-only. *)
+   runtime findings they can also report; 20..23 are error-only;
+   30..32 belong to the serve protocol layer. *)
 let gsl_code = function
   | Unreachable _ -> 17
   | Infeasible _ -> 18
@@ -31,14 +38,19 @@ let gsl_code = function
   | Singular_matrix _ -> 21
   | Worker_crash _ -> 22
   | Nonfinite _ -> 23
+  | Frame _ -> 30
+  | Overload _ -> 31
+  | Io _ -> 32
 
 (* The single error-class -> process exit code mapping.  0 = success
    (possibly degraded), 1 = lint findings / regression breach, then: *)
 let exit_code = function
-  | Parse _ | Unreachable _ -> 2 (* usage / malformed input *)
+  | Parse _ | Unreachable _ | Frame _ -> 2 (* usage / malformed input *)
   | Infeasible _ -> 3 (* infeasible under Fail policy *)
   | Deadline _ -> 4 (* budget exhausted, no degradable state *)
   | Singular_matrix _ | Worker_crash _ | Nonfinite _ -> 5 (* internal *)
+  | Overload _ -> 6 (* server refused admission *)
+  | Io _ -> 7 (* peer/stream I/O failure *)
 
 let to_string = function
   | Parse { file; line; token; msg } ->
@@ -62,8 +74,19 @@ let to_string = function
       Printf.sprintf "worker crash at %s: %s" site msg
   | Nonfinite { site; what } ->
       Printf.sprintf "non-finite value at %s: %s" site what
+  | Frame { what; detail } -> Printf.sprintf "bad frame (%s): %s" what detail
+  | Overload { reason; depth } ->
+      Printf.sprintf "request rejected (%s) at queue depth %d" reason depth
+  | Io { site; msg } -> Printf.sprintf "i/o failure at %s: %s" site msg
 
 let raise_ e = raise (Error e)
+
+(* [Sys_error] carries no errno; the runtime renders EPIPE on stdio
+   channels as this exact message suffix. *)
+let sys_error_is_pipe msg =
+  let suffix = "Broken pipe" in
+  let n = String.length msg and k = String.length suffix in
+  n >= k && String.sub msg (n - k) k = suffix
 
 (* Known foreign exceptions folded into the taxonomy; the CLIs call this
    so no bare [Failure] reaches the user. *)
@@ -71,6 +94,11 @@ let of_exn = function
   | Error e -> Some e
   | Eda_util.Matrix.Singular { n; column; pivot } ->
       Some (Singular_matrix { n; column; pivot })
+  | Unix.Unix_error (err, fn, _)
+    when err = Unix.EPIPE || err = Unix.ECONNRESET || err = Unix.ESHUTDOWN ->
+      Some (Io { site = fn; msg = Unix.error_message err })
+  | Sys_error msg when sys_error_is_pipe msg ->
+      Some (Io { site = "stdio"; msg })
   | _ -> None
 
 let () =

@@ -40,6 +40,16 @@ type t =
           injection point or execution context. *)
   | Nonfinite of { site : string; what : string }
       (** A NaN/Inf escaped a numeric kernel. *)
+  | Frame of { what : string; detail : string }
+      (** A serve-protocol frame the daemon refuses to process: [what]
+          names the violation (["oversized"], ["bad-json"], ["truncated"],
+          ["bad-schema"], ...), [detail] elaborates. *)
+  | Overload of { reason : string; depth : int }
+      (** The daemon refused admission: [reason] is ["queue-full"] or
+          ["draining"], [depth] the queue depth at rejection time. *)
+  | Io of { site : string; msg : string }
+      (** A peer or stream I/O failure (broken pipe, connection reset,
+          refused connection): [site] names the syscall or stream. *)
 
 exception Error of t
 
@@ -48,12 +58,14 @@ exception Error of t
 val class_name : t -> string
 
 (** GSL diagnostic code for the class: 17 unreachable, 18 infeasible,
-    19 deadline, 20 parse, 21 singular, 22 worker crash, 23 non-finite. *)
+    19 deadline, 20 parse, 21 singular, 22 worker crash, 23 non-finite,
+    30 bad frame, 31 overloaded, 32 i/o. *)
 val gsl_code : t -> int
 
-(** Process exit code for the class: 2 usage/input (parse, unreachable),
-    3 infeasible, 4 deadline, 5 internal (singular, crash, non-finite).
-    0 is success — possibly degraded — and 1 is lint findings/regression. *)
+(** Process exit code for the class: 2 usage/input (parse, unreachable,
+    bad frame), 3 infeasible, 4 deadline, 5 internal (singular, crash,
+    non-finite), 6 overloaded, 7 i/o.  0 is success — possibly
+    degraded — and 1 is lint findings/regression. *)
 val exit_code : t -> int
 
 (** Human-oriented one-line rendering (no class prefix). *)
@@ -63,5 +75,7 @@ val to_string : t -> string
 val raise_ : t -> 'a
 
 (** Fold a foreign exception into the taxonomy when a mapping exists
-    ([Error] itself, [Matrix.Singular]); [None] for anything else. *)
+    ([Error] itself, [Matrix.Singular], pipe/reset [Unix_error]s and the
+    [Sys_error] the runtime raises for EPIPE on stdio channels — both
+    become {!Io}); [None] for anything else. *)
 val of_exn : exn -> t option

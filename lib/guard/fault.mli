@@ -14,8 +14,11 @@
     a site-derived constant.  Example:
     [GSINO_FAULTS="phase2.solve=raise@0.5#42,matrix.lu=nan"].
 
-    Registered sites (this PR): [io.load], [phase2.solve],
-    [refine.resolve], [matrix.lu], [exec.worker].  [raise]/[delay] act at
+    Registered sites: [io.load], [phase2.solve], [refine.resolve],
+    [matrix.lu], [exec.worker], and [serve.request] (fires inside the
+    daemon's per-request guard, proving request isolation: the request
+    gets a framed GSL0022 error, the daemon keeps serving).
+    [raise]/[delay] act at
     {!point} sites, [nan] only where a {!corrupt} call wraps a value
     ([matrix.lu]); a mode installed at a site that never performs the
     matching action simply stays silent.

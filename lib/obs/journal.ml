@@ -91,14 +91,18 @@ let event_json e =
     | Some o -> [ ("outcome", Json.Str o) ]
     | None -> []))
 
-let output oc evs =
-  output_string oc (Json.to_string (Json.Obj [ ("schema", Json.Str schema) ]));
-  output_char oc '\n';
+let to_string evs =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b (Json.to_string (Json.Obj [ ("schema", Json.Str schema) ]));
+  Buffer.add_char b '\n';
   List.iter
     (fun e ->
-      output_string oc (Json.to_string (event_json e));
-      output_char oc '\n')
-    evs
+      Buffer.add_string b (Json.to_string (event_json e));
+      Buffer.add_char b '\n')
+    evs;
+  Buffer.contents b
+
+let output oc evs = output_string oc (to_string evs)
 
 let write_file path evs =
   let oc = open_out path in

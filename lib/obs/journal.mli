@@ -68,6 +68,11 @@ val clear : unit -> unit
     interleaving does not. *)
 val events : unit -> event list
 
+(** Events as [gsino-journal-v1] JSONL: a schema header line, then one
+    JSON object per event (what {!output}/{!write_file} emit; the serve
+    daemon frames this string into responses). *)
+val to_string : event list -> string
+
 (** Write events as [gsino-journal-v1] JSONL: a schema header line, then
     one JSON object per event. *)
 val output : out_channel -> event list -> unit

@@ -36,6 +36,16 @@ let registry_key : (string * labels, instrument) Hashtbl.t Domain.DLS.key =
 
 let registry () = Domain.DLS.get registry_key
 
+(* Every cell this domain has ever materialised, including ones [rebase]
+   dropped from the visible registry.  Needed so rebasing can zero cells
+   that are currently invisible — otherwise a value recorded by request
+   N would bleed into request N+2's export when the instrument is
+   re-registered. *)
+let materialized_key : (string * labels, instrument) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let materialized () = Domain.DLS.get materialized_key
+
 type counter = counter_cell Domain.DLS.key
 type gauge = gauge_cell Domain.DLS.key
 type histogram = histogram_cell Domain.DLS.key
@@ -55,9 +65,7 @@ let norm_labels labels =
   then invalid_arg "Metrics: duplicate label key";
   l
 
-let register ?(labels = []) name find make =
-  if name = "" then invalid_arg "Metrics: empty metric name";
-  let key = (name, norm_labels labels) in
+let register key find make =
   Mutex.protect handles_mu (fun () ->
       match Hashtbl.find_opt handles key with
       | Some existing -> find existing
@@ -70,11 +78,25 @@ let new_cell_key key wrap cell_of =
   Domain.DLS.new_key (fun () ->
       let cell = cell_of () in
       Hashtbl.replace (registry ()) key (wrap cell);
+      Hashtbl.replace (materialized ()) key (wrap cell);
       cell)
 
+(* (Re-)install this domain's cell in the visible registry.  The DLS
+   initialiser above only runs on first materialisation; after a
+   [rebase] dropped the key, the next registration call must make the
+   existing cell visible again or later bumps would never export. *)
+let reinstall key inst =
+  let reg = registry () in
+  if not (Hashtbl.mem reg key) then Hashtbl.replace reg key inst
+
+let metric_key ?(labels = []) name =
+  if name = "" then invalid_arg "Metrics: empty metric name";
+  (name, norm_labels labels)
+
 let counter ?labels name =
+  let key = metric_key ?labels name in
   let k =
-    register ?labels name
+    register key
       (function
         | KC c -> c
         | KG _ | KH _ ->
@@ -84,12 +106,13 @@ let counter ?labels name =
   in
   (* materialise this domain's cell eagerly so the instrument shows up in
      snapshots at value zero even if never bumped *)
-  ignore (Domain.DLS.get k : counter_cell);
+  reinstall key (C (Domain.DLS.get k));
   k
 
 let gauge ?labels name =
+  let key = metric_key ?labels name in
   let k =
-    register ?labels name
+    register key
       (function
         | KG g -> g
         | KC _ | KH _ ->
@@ -97,12 +120,13 @@ let gauge ?labels name =
               ("Metrics.gauge: " ^ name ^ " registered with another kind"))
       (fun key -> KG (new_cell_key key (fun g -> G g) (fun () -> { g = 0.0 })))
   in
-  ignore (Domain.DLS.get k : gauge_cell);
+  reinstall key (G (Domain.DLS.get k));
   k
 
 let histogram ?labels name =
+  let key = metric_key ?labels name in
   let k =
-    register ?labels name
+    register key
       (function
         | KH h -> h
         | KC _ | KG _ ->
@@ -121,7 +145,7 @@ let histogram ?labels name =
                  buckets = Array.make n_buckets 0;
                })))
   in
-  ignore (Domain.DLS.get k : histogram_cell);
+  reinstall key (H (Domain.DLS.get k));
   k
 
 let incr k =
@@ -431,25 +455,81 @@ let reset () =
           Array.fill h.buckets 0 n_buckets 0)
     (registry ())
 
+(* --------------------- request-scoped rebasing ----------------------- *)
+
+let registered () =
+  Mutex.protect handles_mu (fun () ->
+      Hashtbl.fold (fun key _ acc -> key :: acc) handles [])
+  |> List.sort compare
+
+let zero_cell = function
+  | C c -> c.c <- 0
+  | G g -> g.g <- 0.0
+  | H h ->
+      h.count <- 0;
+      h.sum <- 0.0;
+      h.mn <- infinity;
+      h.mx <- neg_infinity;
+      Array.fill h.buckets 0 n_buckets 0
+
+let rebase keys =
+  let reg = registry () in
+  Hashtbl.reset reg;
+  (* zero every cell this domain ever materialised — including cells a
+     previous rebase made invisible — so no prior request's value can
+     bleed into this one when an instrument is lazily re-registered *)
+  Hashtbl.iter (fun _ inst -> zero_cell inst) (materialized ());
+  List.iter
+    (fun key ->
+      let handle =
+        Mutex.protect handles_mu (fun () -> Hashtbl.find_opt handles key)
+      in
+      match handle with
+      | None -> () (* unregistered key: nothing to materialise *)
+      | Some h ->
+          (* DLS cells are per-domain singletons: re-getting returns the
+             same cell this domain always writes through, so after
+             re-registering it here every later bump lands in a cell the
+             next snapshot sees *)
+          let inst =
+            match h with
+            | KC k -> C (Domain.DLS.get k)
+            | KG k -> G (Domain.DLS.get k)
+            | KH k -> H (Domain.DLS.get k)
+          in
+          zero_cell inst;
+          Hashtbl.replace reg key inst)
+    keys
+
 (* ------------------------- shard absorption ------------------------- *)
 
-let absorb_mu = Mutex.create ()
+(* Absorption mutates only the calling domain's DLS cells, so absorbs on
+   distinct domains never share state and may run concurrently (the serve
+   daemon's request workers each coordinate their own pool).  The hazard
+   is two absorbs interleaving on the *same* shard — two sys-threads of
+   one domain — which this per-domain flag rejects loudly. *)
+let absorbing_key : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
 
 let absorb (s : snapshot) =
-  (* Single-absorber rule: shards are merged by one domain at a time (the
-     pool coordinator, in worker-index order).  Concurrent absorbs would
-     interleave read-modify-write on the same cells, so fail loudly
-     instead of corrupting counts. *)
-  if not (Mutex.try_lock absorb_mu) then
+  let busy = Domain.DLS.get absorbing_key in
+  if !busy then
     invalid_arg "Metrics.absorb: concurrent merge (sharding contract violated)";
+  busy := true;
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock absorb_mu)
+    ~finally:(fun () -> busy := false)
     (fun () ->
       List.iter
         (fun (name, labels, v) ->
+          (* a zero-valued contribution is numerically a no-op; skipping
+             it also skips the registration side effect, so an instrument
+             a *previous* request materialised on a pool worker does not
+             reappear (at zero) in a later request's export *)
           match v with
+          | Counter 0 -> ()
           | Counter n -> add (counter ~labels name) n
+          | Gauge 0.0 -> ()
           | Gauge g -> accum (gauge ~labels name) g
+          | Histogram { count = 0; _ } -> ()
           | Histogram hs ->
               let cell = Domain.DLS.get (histogram ~labels name) in
               cell.count <- cell.count + hs.count;

@@ -33,9 +33,18 @@
       coordinator.
     - The coordinator folds worker shards into its own shard with
       {!absorb}, one at a time, in a deterministic (worker-index) order.
-      [absorb] holds a merge mutex and raises [Invalid_argument] if
-      entered concurrently — misuse fails loudly instead of silently
-      corrupting counts.  [Eda_exec] does all of this automatically.
+      [absorb] mutates only the calling domain's cells, so coordinators
+      on distinct domains (the serve daemon's request workers) may absorb
+      concurrently; re-entering [absorb] on the {e same} domain (two
+      sys-threads sharing a shard) raises [Invalid_argument] — misuse
+      fails loudly instead of silently corrupting counts.  [Eda_exec]
+      does all of this automatically.
+    - A long-lived process serving many requests on one domain gives each
+      request a fresh context with {!rebase}: zero the shard {e and}
+      shrink it back to a fixed baseline instrument set (captured with
+      {!registered} at startup), so a snapshot at end of request [N] is
+      byte-identical to one from a fresh process — instruments a previous
+      request registered lazily do not leak into the next export.
 
     Everything below the snapshot layer ({!merge}, JSON, {!quantile}) is
     pure and safe anywhere. *)
@@ -136,10 +145,27 @@ val read_json : string -> (snapshot, string) result
     (registrations survive). *)
 val reset : unit -> unit
 
+(** Every (name, labels) pair registered process-wide so far, sorted.
+    The serve daemon captures this at startup as the per-request baseline
+    for {!rebase}. *)
+val registered : unit -> (string * labels) list
+
+(** [rebase keys] — make the calling domain's shard consist of exactly
+    the registered instruments in [keys], all zeroed: cells for keys not
+    listed are dropped from this domain's snapshots (they reappear, from
+    zero, if re-touched), listed keys are materialised eagerly so they
+    export at zero even if the request never bumps them.  Keys never
+    registered are ignored.  See the sharding contract above. *)
+val rebase : (string * labels) list -> unit
+
 (** [absorb shard] — fold a worker shard into the calling domain's live
     cells: counters and histogram buckets add, gauges accumulate (add —
     worker gauges are treated as contributions, not last-writer
-    overrides).  Instruments absent locally are registered on the fly.
-    Guarded by a merge mutex: concurrent calls raise [Invalid_argument]
-    (see the sharding contract above). *)
+    overrides).  Instruments absent locally are registered on the fly;
+    zero-valued entries (counter 0, gauge 0.0, empty histogram) are
+    skipped entirely — they contribute nothing, and skipping them keeps
+    instruments a previous request materialised on a long-lived pool
+    worker from leaking into a later request's shard.  Safe from any
+    domain concurrently; re-entry on one domain's shard raises
+    [Invalid_argument] (see the sharding contract above). *)
 val absorb : snapshot -> unit

@@ -7,6 +7,7 @@ type event = { name : string; ph : phase; ts_us : float; args : args }
 type state = {
   buf : event array;
   capacity : int;
+  m_dropped : Metrics.counter;
   mutable next : int;  (** total events ever recorded *)
   mutable t0_ns : int64;  (** monotonic origin (Clock.now_ns at enable) *)
   mutable last_us : float;  (** non-decreasing clamp *)
@@ -17,49 +18,48 @@ type state = {
 
 let dummy_event = { name = ""; ph = I; ts_us = 0.0; args = [] }
 
-let state : state option ref = ref None
+(* The ring buffer is domain-local: only a domain that called [enable]
+   records, into its own ring.  Worker domains spawned by Eda_exec never
+   enable, so their span bookkeeping stays a no-op — per-domain work is
+   accounted in the sharded [exec.*] metrics instead.  The serve daemon's
+   request workers each enable/disable their own ring, giving every
+   request an isolated trace context. *)
+let state_key : state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-(* The ring buffer is single-writer: only the domain that called [enable]
-   (the flow coordinator) records.  Worker domains spawned by Eda_exec
-   still run traced functions, but their span bookkeeping is a no-op —
-   per-domain work is accounted in the sharded [exec.*] metrics instead. *)
-let owner = ref (-1)
+let state () = Domain.DLS.get state_key
 
-let on_owner () = (Domain.self () :> int) = !owner
+let active () = !(state ())
 
-let active () = match !state with Some s when on_owner () -> Some s | Some _ | None -> None
-
-let enabled () = !state <> None
-
-(* Ring overwrites surface in the metrics registry too, so an exported
-   gsino-metrics-v1 snapshot carries the evidence that the trace is (or
-   is not) complete; CI asserts this counter is zero.  The counter counts
-   dropped *spans* (evicted begin events) — the unit the name promises —
-   matching [dropped_spans ()]; [dropped ()] counts raw evicted events of
-   any phase.  Registered at [enable] so instrumented runs always export
-   it, even at zero. *)
-let m_dropped = lazy (Metrics.counter "trace.dropped_spans")
+let enabled () = active () <> None
 
 let enable ?(capacity = 65536) () =
   if capacity <= 0 then invalid_arg "Trace.enable: non-positive capacity";
-  ignore (Lazy.force m_dropped);
-  owner := (Domain.self () :> int);
-  state :=
-    Some
-      {
-        buf = Array.make capacity dummy_event;
-        capacity;
-        next = 0;
-        t0_ns = Clock.now_ns ();
-        last_us = 0.0;
-        depth = 0;
-        stack = [];
-        dropped_spans = 0;
-      }
+  (* Ring overwrites surface in the metrics registry too, so an exported
+     gsino-metrics-v1 snapshot carries the evidence that the trace is (or
+     is not) complete; CI asserts this counter is zero.  The counter
+     counts dropped *spans* (evicted begin events) — the unit the name
+     promises — matching [dropped_spans ()]; [dropped ()] counts raw
+     evicted events of any phase.  Registered at [enable] so instrumented
+     runs always export it, even at zero (registration is idempotent). *)
+  state ()
+  := Some
+       {
+         buf = Array.make capacity dummy_event;
+         capacity;
+         m_dropped = Metrics.counter "trace.dropped_spans";
+         next = 0;
+         t0_ns = Clock.now_ns ();
+         last_us = 0.0;
+         depth = 0;
+         stack = [];
+         dropped_spans = 0;
+       }
 
-let disable () = state := None
+let disable () = state () := None
 
-let clear () = match !state with None -> () | Some s -> enable ~capacity:s.capacity ()
+let clear () =
+  match active () with None -> () | Some s -> enable ~capacity:s.capacity ()
 
 (* Microseconds since [enable] on the monotonic clock, clamped
    non-decreasing (the clamp is belt-and-braces: CLOCK_MONOTONIC already
@@ -79,7 +79,7 @@ let record s ev =
      match evicted.ph with
      | B ->
          s.dropped_spans <- s.dropped_spans + 1;
-         Metrics.incr (Lazy.force m_dropped)
+         Metrics.incr s.m_dropped
      | E | I -> ()
    end);
   s.buf.(s.next mod s.capacity) <- ev;
@@ -124,13 +124,13 @@ let instant ?(args = []) name =
 let depth () = match active () with None -> 0 | Some s -> s.depth
 
 let dropped () =
-  match !state with None -> 0 | Some s -> max 0 (s.next - s.capacity)
+  match active () with None -> 0 | Some s -> max 0 (s.next - s.capacity)
 
 let dropped_spans () =
-  match !state with None -> 0 | Some s -> s.dropped_spans
+  match active () with None -> 0 | Some s -> s.dropped_spans
 
 let events () =
-  match !state with
+  match active () with
   | None -> []
   | Some s ->
       let n = min s.next s.capacity in

@@ -13,11 +13,14 @@
     ["B"]/["E"]/["i"] events, timestamps in µs), loadable by
     [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
 
-    Single-writer: the ring belongs to the domain that called {!enable}
-    (the flow coordinator).  On any other domain — e.g. an [Eda_exec]
-    worker — {!span}/{!instant} still run their thunk but record
-    nothing, so traced code can be fanned out without racing the buffer;
-    per-domain work shows up in the sharded [exec.*] metrics instead. *)
+    Domain-local: the ring (and the enabled flag) lives in domain-local
+    storage, so each domain that calls {!enable} records into — and
+    exports from — its own buffer.  On a domain that never enabled (an
+    [Eda_exec] worker) {!span}/{!instant} still run their thunk but
+    record nothing, so traced code can be fanned out without racing any
+    buffer; per-domain work shows up in the sharded [exec.*] metrics
+    instead.  A long-lived server gives each request an isolated trace
+    context by enabling/disabling on the domain serving it. *)
 
 type args = (string * string) list
 

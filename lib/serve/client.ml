@@ -1,0 +1,33 @@
+module Error = Eda_guard.Error
+
+let io site msg = Error.Error (Error.Io { site; msg })
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_UNIX path);
+    fd
+  with Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+    raise
+      (io path
+         (Printf.sprintf "cannot reach daemon: %s" (Unix.error_message err)))
+
+let call ?timeout_s fd request =
+  (try Protocol.send_request fd request
+   with Unix.Unix_error (err, fn, _) ->
+     raise (io fn (Unix.error_message err)));
+  match Protocol.read_frame ?timeout_s fd with
+  | Protocol.Frame payload -> (
+      match Protocol.response_of_string payload with
+      | Ok response -> response
+      | Error e -> Error.raise_ e)
+  | Protocol.Eof -> raise (io "read" "daemon closed the connection early")
+  | Protocol.Reject e -> Error.raise_ e
+
+let request ?timeout_s path req =
+  let fd = connect path in
+  Fun.protect
+    ~finally:(fun () ->
+      try Unix.close fd with Unix.Unix_error (_, _, _) -> ())
+    (fun () -> call ?timeout_s fd req)

@@ -203,6 +203,19 @@ let entry_lines n =
       "end";
     ]
 
+(* Writers may race on one store directory: the serve daemon flushing at
+   drain while a batch CLI sharing GSINO_PANEL_CACHE saves after refine.
+   Each writer therefore stages into its own tmp file — pid plus an
+   in-process sequence number, so two saves from one process (daemon
+   drain racing a programmatic save) cannot collide either — and
+   publishes with an atomic rename.  Rename is last-writer-wins at the
+   whole-file level, so readers only ever observe some complete,
+   well-formed store, never an interleaving; [load] of either version is
+   valid (the stores are caches, not logs).  Counting is unaffected:
+   [save] touches no metric and [load] re-inserts through [insert], so a
+   concurrent save/load race cannot double-count sino.cache_stores. *)
+let save_seq = Atomic.make 0
+
 let save t dir =
   (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
    with Sys_error _ -> ());
@@ -221,16 +234,24 @@ let save t dir =
         !acc)
   in
   let file = file_of dir in
-  let tmp = file ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc (magic ^ "\n");
-      List.iter
-        (fun n -> List.iter (fun l -> output_string oc (l ^ "\n")) (entry_lines n))
-        nodes);
-  Sys.rename tmp file
+  let tmp =
+    Printf.sprintf "%s.%d.%d.tmp" file (Unix.getpid ())
+      (Atomic.fetch_and_add save_seq 1)
+  in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out_noerr oc)
+       (fun () ->
+         output_string oc (magic ^ "\n");
+         List.iter
+           (fun n ->
+             List.iter (fun l -> output_string oc (l ^ "\n")) (entry_lines n))
+           nodes);
+     Sys.rename tmp file
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e)
 
 let split_fields line =
   String.split_on_char ' ' line |> List.filter (fun s -> s <> "")

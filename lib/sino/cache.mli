@@ -80,7 +80,13 @@ val store : t -> key:string -> inst:Instance.t -> ?warm:int array -> value -> un
     empty cache, a malformed one is an empty cache plus a warning. *)
 val load : ?capacity:int -> string -> t
 
-(** [save t dir] — atomically write the store file (temp file + rename),
-    creating [dir] if needed, least-recently-used entries first so a
-    later [load] reconstructs the recency order. *)
+(** [save t dir] — atomically write the store file (unique per-writer
+    temp file + rename), creating [dir] if needed, least-recently-used
+    entries first so a later [load] reconstructs the recency order.
+    Safe under concurrent writers sharing [dir] (a draining daemon racing
+    a batch CLI): each writer stages privately and the rename is
+    last-writer-wins on a complete file, so concurrent [save]/[load]
+    never observes a torn store and never double-counts
+    [sino.cache_stores] ([save] records no metric; [load] re-inserts
+    without counting). *)
 val save : t -> string -> unit

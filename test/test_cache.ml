@@ -185,6 +185,46 @@ let test_disk_corruption () =
          "end";
        ])
 
+let test_disk_concurrent_writers () =
+  (* several serve workers (or daemon instances) flushing the same
+     directory at once: every save publishes via a writer-unique tmp
+     name + atomic rename, so a load at any point sees one complete
+     store — never a torn or half-renamed file *)
+  let dir = tmpdir () in
+  let cache_for seed n =
+    let c = Cache.create () in
+    for i = 0 to n - 1 do
+      let inst = mk_inst ~sensitive:(sym_sens (seed + i) 0.5) (4 + (i mod 5)) in
+      ignore (Solver.solve ~cache:c (Solver.request ~seed:(seed + i) ()) inst)
+    done;
+    c
+  in
+  let caches = List.init 4 (fun w -> cache_for (100 * (w + 1)) 6) in
+  let writers =
+    List.map
+      (fun c -> Domain.spawn (fun () -> for _ = 1 to 5 do Cache.save c dir done))
+      caches
+  in
+  (* interleave loads with the racing writers: must never raise and
+     never observe a partial store (load treats corrupt as empty, so a
+     non-empty result proves the file was complete) *)
+  for _ = 1 to 10 do
+    ignore (Cache.load dir)
+  done;
+  List.iter Domain.join writers;
+  let loaded = Cache.load dir in
+  Alcotest.(check bool) "last published store is complete" true
+    (List.exists (fun c -> Cache.length c = Cache.length loaded) caches);
+  Alcotest.(check bool) "winner is one of the writers" true
+    (Cache.length loaded > 0);
+  (* no tmp litter: every pid/seq-suffixed staging file was renamed or
+     cleaned up *)
+  let litter =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "no tmp files left behind" [] litter
+
 (* ---------------- annealer telemetry ---------------- *)
 
 let test_acceptance_ratio_gauge () =
@@ -276,6 +316,8 @@ let suites =
       [
         Alcotest.test_case "round trip" `Quick test_disk_roundtrip;
         Alcotest.test_case "corruption tolerated" `Quick test_disk_corruption;
+        Alcotest.test_case "concurrent writers race safely" `Quick
+          test_disk_concurrent_writers;
       ] );
     ("cache.properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
   ]

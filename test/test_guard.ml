@@ -36,6 +36,10 @@ let samples =
     (Error.Worker_crash { site = "exec.worker"; msg = "boom" }, "worker-crash", 22, 5);
     ( Error.Nonfinite { site = "matrix.lu"; what = "unknown 0" },
       "nonfinite-value", 23, 5 );
+    ( Error.Frame { what = "oversized"; detail = "70000000 > 1024" },
+      "bad-frame", 30, 2 );
+    (Error.Overload { reason = "queue-full"; depth = 16 }, "overloaded", 31, 6);
+    (Error.Io { site = "write"; msg = "Broken pipe" }, "io-error", 32, 7);
   ]
 
 let test_error_mappings () =
@@ -63,6 +67,21 @@ let test_error_of_exn () =
   (match Error.of_exn (Error.Error e) with
   | Some e' -> Alcotest.(check bool) "identity" true (e = e')
   | None -> Alcotest.fail "Error.Error not folded in");
+  (* a vanished peer folds into the Io class (exit 7), whichever layer
+     reports it: raw Unix writes or stdio channels *)
+  (match Error.of_exn (Unix.Unix_error (Unix.EPIPE, "write", "")) with
+  | Some (Error.Io { site; _ }) -> Alcotest.(check string) "epipe site" "write" site
+  | Some _ | None -> Alcotest.fail "EPIPE not folded into Io");
+  (match Error.of_exn (Unix.Unix_error (Unix.ECONNRESET, "recv", "")) with
+  | Some (Error.Io _) -> ()
+  | Some _ | None -> Alcotest.fail "ECONNRESET not folded into Io");
+  (match Error.of_exn (Sys_error "out.txt: Broken pipe") with
+  | Some (Error.Io _) -> ()
+  | Some _ | None -> Alcotest.fail "stdio broken pipe not folded into Io");
+  Alcotest.(check bool) "other unix errors unmapped" true
+    (Error.of_exn (Unix.Unix_error (Unix.ENOENT, "open", "f")) = None);
+  Alcotest.(check bool) "other sys errors unmapped" true
+    (Error.of_exn (Sys_error "f: No such file or directory") = None);
   Alcotest.(check bool) "foreign exn unmapped" true
     (Error.of_exn (Failure "x") = None)
 
@@ -110,6 +129,76 @@ let test_deadline_not_expired () =
   Alcotest.(check bool) "fresh budget live" false (Deadline.expired d);
   Alcotest.(check bool) "check does not mark" false (Deadline.check d ~phase:"route");
   Alcotest.(check (list string)) "no hits" [] (Deadline.hits d)
+
+let test_deadline_remaining_boundary () =
+  (* a live budget reports a positive remainder bounded by the budget *)
+  let d = Deadline.start ~budget_ms:60_000 in
+  (match Deadline.remaining_ms d with
+  | Some r ->
+      Alcotest.(check bool) "remainder positive" true (r > 0);
+      Alcotest.(check bool) "remainder bounded" true (r <= 60_000)
+  | None -> Alcotest.fail "budgeted deadline reports no remainder");
+  (* at and after expiry the remainder clamps to exactly 0, never
+     negative — callers size buffers and sleeps from it *)
+  let e = Deadline.start ~budget_ms:1 in
+  Unix.sleepf 0.01;
+  Alcotest.(check (option int)) "expired remainder clamps to 0" (Some 0)
+    (Deadline.remaining_ms e);
+  Unix.sleepf 0.01;
+  Alcotest.(check (option int)) "stays 0 long after expiry" (Some 0)
+    (Deadline.remaining_ms e);
+  Alcotest.(check (option int)) "no deadline, no remainder" None
+    (Deadline.remaining_ms Deadline.none)
+
+let test_deadline_cancellable () =
+  (* cancel-only: no time budget, never expires on its own *)
+  let d = Deadline.cancellable () in
+  Alcotest.(check bool) "fresh cancellable live" false (Deadline.expired d);
+  Alcotest.(check bool) "not cancelled yet" false (Deadline.cancelled d);
+  Alcotest.(check (option int)) "cancel-only has no remainder" None
+    (Deadline.remaining_ms d);
+  Deadline.cancel d;
+  Alcotest.(check bool) "cancelled" true (Deadline.cancelled d);
+  Alcotest.(check bool) "cancel expires" true (Deadline.expired d);
+  Alcotest.(check (option int)) "cancelled remainder is 0" (Some 0)
+    (Deadline.remaining_ms d);
+  (* with a budget: cancellation wins even with time left on the clock *)
+  let b = Deadline.cancellable ~budget_ms:60_000 () in
+  Alcotest.(check bool) "budgeted cancellable live" false (Deadline.expired b);
+  (match Deadline.remaining_ms b with
+  | Some r -> Alcotest.(check bool) "budget remainder positive" true (r > 0)
+  | None -> Alcotest.fail "budgeted cancellable reports no remainder");
+  Deadline.cancel b;
+  Alcotest.(check bool) "cancel overrides live budget" true (Deadline.expired b);
+  Alcotest.(check (option int)) "overridden remainder is 0" (Some 0)
+    (Deadline.remaining_ms b);
+  (* cancelling the null deadline is a no-op, not a crash *)
+  Deadline.cancel Deadline.none;
+  Alcotest.(check bool) "none stays unexpired" false
+    (Deadline.expired Deadline.none)
+
+let test_deadline_concurrent_marks () =
+  (* the serve daemon's request domains mark one deadline from several
+     domains at once (flow phases + the drain timer); marks must stay
+     deduplicated and ordered without tearing *)
+  let d = Deadline.cancellable () in
+  Deadline.cancel d;
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 100 do
+              Deadline.mark d ~phase:(Printf.sprintf "phase%d" i);
+              ignore (Deadline.check d ~phase:(Printf.sprintf "phase%d" i))
+            done))
+  in
+  List.iter Domain.join domains;
+  let hits = Deadline.hits d in
+  Alcotest.(check int) "one hit per phase" 4 (List.length hits);
+  List.iteri
+    (fun i _ ->
+      let p = Printf.sprintf "phase%d" i in
+      Alcotest.(check bool) (p ^ " recorded") true (List.mem p hits))
+    hits
 
 (* ------------------------------ faults ------------------------------ *)
 
@@ -436,6 +525,12 @@ let suites =
         Alcotest.test_case "none" `Quick test_deadline_none;
         Alcotest.test_case "expires and marks" `Quick test_deadline_expires_and_marks;
         Alcotest.test_case "live budget" `Quick test_deadline_not_expired;
+        Alcotest.test_case "remaining_ms boundary" `Quick
+          test_deadline_remaining_boundary;
+        Alcotest.test_case "cancellable semantics" `Quick
+          test_deadline_cancellable;
+        Alcotest.test_case "concurrent marks" `Quick
+          test_deadline_concurrent_marks;
       ] );
     ( "guard.fault",
       [

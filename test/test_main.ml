@@ -23,4 +23,5 @@ let () =
          Test_reportviz.suites;
          Test_exec.suites;
         Test_cache.suites;
+         Test_serve.suites;
        ])

@@ -1,0 +1,405 @@
+(* The routing daemon: protocol codecs, per-request fault isolation
+   (malformed/oversized frames, injected faults, disconnects, expired
+   deadlines each degrade only their own request), bounded admission
+   backpressure, concurrent-request result identity and graceful
+   drain. *)
+open Gsino
+module Server = Eda_serve.Server
+module Client = Eda_serve.Client
+module Protocol = Eda_serve.Protocol
+module Error = Eda_guard.Error
+module Fault = Eda_guard.Fault
+module Generator = Eda_netlist.Generator
+module Io = Eda_netlist.Io
+
+(* ---------------- fixtures ---------------- *)
+
+let netlist_text =
+  lazy
+    (let tech = Tech.default in
+     let profile =
+       match Generator.find_ibm "ibm01" with
+       | Some p -> p
+       | None -> Alcotest.fail "ibm01 profile missing"
+     in
+     Io.to_string
+       (Generator.generate ~gcell_um:tech.Tech.gcell_um ~scale:0.01 ~seed:3
+          profile))
+
+let route_request ?(deadline_ms = 0) ?(artifacts = []) () =
+  Protocol.Route
+    {
+      netlist = Lazy.force netlist_text;
+      options =
+        { Protocol.default_options with Protocol.deadline_ms; artifacts };
+    }
+
+let tmpdir () =
+  let d = Filename.temp_file "gsino_serve" "" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let with_server ?(workers = 1) ?(jobs = 1) ?(queue_bound = 4)
+    ?(max_frame = Protocol.max_frame_default) ?(request_deadline_ms = 0)
+    ?(drain_ms = 0) ?cache_dir f =
+  let dir = tmpdir () in
+  let socket = Filename.concat dir "s.sock" in
+  let t =
+    Server.start
+      {
+        Server.socket;
+        workers;
+        jobs;
+        queue_bound;
+        max_frame;
+        request_deadline_ms;
+        drain_ms;
+        read_timeout_s = 2.0;
+        cache_dir;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.drain t;
+      Server.wait t;
+      (try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()))
+    (fun () -> f ~socket t)
+
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+let write_raw fd s =
+  let n = Unix.write_substring fd s 0 (String.length s) in
+  Alcotest.(check int) "raw write complete" (String.length s) n
+
+(* read the server's framed response off a raw connection *)
+let read_response fd =
+  match Protocol.read_frame ~timeout_s:30.0 fd with
+  | Protocol.Frame payload -> (
+      match Protocol.response_of_string payload with
+      | Ok r -> r
+      | Error e -> Alcotest.fail ("undecodable response: " ^ Error.to_string e))
+  | Protocol.Eof -> Alcotest.fail "eof instead of a response frame"
+  | Protocol.Reject e -> Alcotest.fail ("reject reading response: " ^ Error.to_string e)
+
+let expect_err ~gsl ~exit_code what = function
+  | Protocol.Err { gsl = g; exit_code = ec; _ } ->
+      Alcotest.(check int) (what ^ " gsl") gsl g;
+      Alcotest.(check int) (what ^ " exit") exit_code ec
+  | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Result _ ->
+      Alcotest.fail (what ^ ": expected an error response")
+
+(* (status, summary, findings, artifacts) *)
+let expect_result what = function
+  | Protocol.Result { status; summary; findings; artifacts } ->
+      (status, summary, findings, artifacts)
+  | Protocol.Err { gsl; message; _ } ->
+      Alcotest.fail
+        (Printf.sprintf "%s: unexpected error GSL%04d %s" what gsl message)
+  | Protocol.Pong | Protocol.Stats_reply _ ->
+      Alcotest.fail (what ^ ": expected a result response")
+
+let ping_ok ~socket what =
+  match Client.request ~timeout_s:10.0 socket Protocol.Ping with
+  | Protocol.Pong -> ()
+  | Protocol.Err { message; _ } ->
+      Alcotest.fail (what ^ ": ping errored: " ^ message)
+  | Protocol.Stats_reply _ | Protocol.Result _ ->
+      Alcotest.fail (what ^ ": ping got a non-pong")
+
+(* ---------------- protocol codecs ---------------- *)
+
+let test_codec_roundtrip () =
+  let reqs =
+    [
+      Protocol.Ping;
+      Protocol.Stats;
+      route_request ~deadline_ms:250
+        ~artifacts:[ Protocol.Report; Protocol.Metrics ] ();
+    ]
+  in
+  List.iter
+    (fun req ->
+      let s = Eda_obs.Json.to_string (Protocol.request_to_json req) in
+      match Protocol.request_of_string s with
+      | Ok req' ->
+          Alcotest.(check bool) "request round-trips" true (req = req')
+      | Error e -> Alcotest.fail (Error.to_string e))
+    reqs;
+  let resps =
+    [
+      Protocol.Pong;
+      Protocol.Result
+        {
+          status = "ok";
+          summary = "s";
+          findings = [ "GSL0005 W - x" ];
+          artifacts = [ ("report", "text\nwith\nlines") ];
+        };
+      Protocol.error_response
+        (Error.Overload { reason = "queue-full"; depth = 4 });
+    ]
+  in
+  List.iter
+    (fun resp ->
+      let s = Eda_obs.Json.to_string (Protocol.response_to_json resp) in
+      match Protocol.response_of_string s with
+      | Ok resp' ->
+          Alcotest.(check bool) "response round-trips" true (resp = resp')
+      | Error e -> Alcotest.fail (Error.to_string e))
+    resps
+
+let test_codec_rejects () =
+  let bad =
+    [
+      "not json at all";
+      {|{"schema":"gsino-serve-v0","kind":"ping"}|};
+      {|{"schema":"gsino-serve-v1","kind":"launch-missiles"}|};
+      {|{"schema":"gsino-serve-v1","kind":"route","netlist":"x","options":{"typo":1}}|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Protocol.request_of_string s with
+      | Ok _ -> Alcotest.fail ("decoded garbage: " ^ s)
+      | Error e ->
+          Alcotest.(check int) "frame-class gsl" 30 (Error.gsl_code e))
+    bad
+
+(* ---------------- liveness ---------------- *)
+
+let test_ping_stats () =
+  with_server @@ fun ~socket t ->
+  ping_ok ~socket "fresh daemon";
+  (match Client.request ~timeout_s:10.0 socket Protocol.Stats with
+  | Protocol.Stats_reply s ->
+      Alcotest.(check int) "workers" 1 s.Protocol.workers;
+      Alcotest.(check bool) "not draining" false s.Protocol.draining;
+      Alcotest.(check int) "nothing active" 0 s.Protocol.active
+  | Protocol.Pong | Protocol.Result _ | Protocol.Err _ ->
+      Alcotest.fail "stats: wrong response kind");
+  Alcotest.(check bool) "server-side stats agree" false
+    (Server.stats t).Protocol.draining
+
+let test_drain_unlinks_socket () =
+  let dir = tmpdir () in
+  let socket = Filename.concat dir "s.sock" in
+  let t = Server.start { Server.default_config with Server.socket } in
+  ping_ok ~socket "before drain";
+  Server.drain t;
+  Server.wait t;
+  Alcotest.(check bool) "socket unlinked" false (Sys.file_exists socket);
+  (try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ())
+
+(* ---------------- frame robustness ---------------- *)
+
+let test_malformed_frames () =
+  with_server @@ fun ~socket _t ->
+  (* truncated header: two bytes then EOF *)
+  let fd = raw_connect socket in
+  write_raw fd "xy";
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  expect_err ~gsl:30 ~exit_code:2 "truncated header" (read_response fd);
+  Unix.close fd;
+  ping_ok ~socket "after truncated header";
+  (* truncated body: header promises 100 bytes, 10 arrive *)
+  let fd = raw_connect socket in
+  write_raw fd "\x00\x00\x00\x64helloooooo";
+  Unix.shutdown fd Unix.SHUTDOWN_SEND;
+  expect_err ~gsl:30 ~exit_code:2 "truncated body" (read_response fd);
+  Unix.close fd;
+  ping_ok ~socket "after truncated body";
+  (* syntactically valid frame, garbage payload *)
+  let fd = raw_connect socket in
+  Protocol.write_frame fd "this is not json";
+  expect_err ~gsl:30 ~exit_code:2 "garbage payload" (read_response fd);
+  Unix.close fd;
+  ping_ok ~socket "after garbage payload"
+
+let test_oversized_frame () =
+  with_server ~max_frame:1024 @@ fun ~socket _t ->
+  let fd = raw_connect socket in
+  (* announce 1 MiB: must be rejected from the header alone *)
+  write_raw fd "\x00\x10\x00\x00";
+  expect_err ~gsl:30 ~exit_code:2 "oversized" (read_response fd);
+  Unix.close fd;
+  ping_ok ~socket "after oversized frame"
+
+(* ---------------- routing ---------------- *)
+
+let volatile_prefixes = [ "exec."; "gc."; "prof."; "sino.cache_"; "serve." ]
+
+let stable_metric_entries artifact =
+  match Eda_obs.Json.of_string artifact with
+  | Error msg -> Alcotest.fail ("metrics artifact not json: " ^ msg)
+  | Ok j -> (
+      match Eda_obs.Metrics.of_json j with
+      | Error msg -> Alcotest.fail ("metrics artifact not v1: " ^ msg)
+      | Ok snap ->
+          List.filter
+            (fun (name, _, _) ->
+              name <> "flow.phase_seconds"
+              && not
+                   (List.exists
+                      (fun p -> String.starts_with ~prefix:p name)
+                      volatile_prefixes))
+            (Eda_obs.Metrics.entries snap))
+
+let test_route_identity_concurrent () =
+  with_server ~workers:2 @@ fun ~socket _t ->
+  let req = route_request ~artifacts:[ Protocol.Metrics ] () in
+  let results = Array.make 4 None in
+  let threads =
+    List.init 4 (fun i ->
+        Thread.create
+          (fun i ->
+            results.(i) <- Some (Client.request ~timeout_s:120.0 socket req))
+          i)
+  in
+  List.iter Thread.join threads;
+  let rs =
+    Array.to_list results
+    |> List.map (function
+         | Some r -> expect_result "concurrent route" r
+         | None -> Alcotest.fail "client thread produced nothing")
+  in
+  let status0, _, findings0, artifacts0 = List.hd rs in
+  Alcotest.(check bool) "some findings listed" true
+    (List.length findings0 > 0);
+  List.iteri
+    (fun i (status, _, findings, artifacts) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "findings %d identical" i)
+        true (findings = findings0);
+      Alcotest.(check string) (Printf.sprintf "status %d" i) status0 status;
+      (* metrics artifacts agree modulo the documented volatile series *)
+      match (artifacts, artifacts0) with
+      | [ (_, m) ], [ (_, m0) ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "stable metrics %d identical" i)
+            true
+            (stable_metric_entries m = stable_metric_entries m0)
+      | _, _ -> Alcotest.fail "expected exactly the metrics artifact")
+    rs
+
+let test_request_deadline_degrades () =
+  with_server @@ fun ~socket _t ->
+  let status, _, _, _ =
+    expect_result "deadline route"
+      (Client.request ~timeout_s:120.0 socket (route_request ~deadline_ms:1 ()))
+  in
+  Alcotest.(check string) "degraded status" "degraded" status;
+  (* the daemon survives a fully degraded request *)
+  ping_ok ~socket "after expired deadline"
+
+let test_injected_fault_isolated () =
+  with_server @@ fun ~socket _t ->
+  Fault.set
+    [ { Fault.site = "serve.request"; mode = Fault.Raise; prob = 1.0; seed = 1 } ];
+  Fun.protect ~finally:Fault.clear (fun () ->
+      expect_err ~gsl:22 ~exit_code:5 "injected fault"
+        (Client.request ~timeout_s:120.0 socket (route_request ())));
+  (* fault cleared: the same request now routes; the daemon never died *)
+  let status, _, _, _ =
+    expect_result "after fault"
+      (Client.request ~timeout_s:120.0 socket (route_request ()))
+  in
+  Alcotest.(check bool) "routes after injected fault" true
+    (status = "ok" || status = "degraded")
+
+let test_disconnect_cancels_request () =
+  with_server @@ fun ~socket t ->
+  let fd = raw_connect socket in
+  Protocol.send_request fd (route_request ());
+  (* vanish before the response: the monitor must cancel the request *)
+  Unix.close fd;
+  let deadline = Unix.gettimeofday () +. 60.0 in
+  let rec settle () =
+    let s = Server.stats t in
+    if s.Protocol.active = 0 && s.Protocol.queue_depth = 0
+       && s.Protocol.disconnects + s.Protocol.served + s.Protocol.errors > 0
+    then s
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.fail "request never settled after client disconnect"
+    else begin
+      Thread.delay 0.05;
+      settle ()
+    end
+  in
+  let s = settle () in
+  Alcotest.(check int) "counted as disconnect" 1 s.Protocol.disconnects;
+  ping_ok ~socket "after mid-request disconnect"
+
+let test_backpressure_queue_full () =
+  with_server ~workers:1 ~queue_bound:1 @@ fun ~socket _t ->
+  (* hold the single worker busy deterministically *)
+  Fault.set
+    [
+      {
+        Fault.site = "serve.request";
+        mode = Fault.Delay 700;
+        prob = 1.0;
+        seed = 1;
+      };
+    ];
+  Fun.protect ~finally:Fault.clear @@ fun () ->
+  let a = raw_connect socket in
+  Protocol.send_request a (route_request ());
+  Thread.delay 0.25 (* worker picks A up and sits in the injected delay *);
+  let b = raw_connect socket in
+  Protocol.send_request b (route_request ());
+  Thread.delay 0.1 (* B is queued; the one queue slot is now full *);
+  expect_err ~gsl:31 ~exit_code:6 "queue-full reject"
+    (Client.request ~timeout_s:10.0 socket (route_request ()));
+  ignore (expect_result "held request A" (read_response a));
+  ignore (expect_result "queued request B" (read_response b));
+  Unix.close a;
+  Unix.close b
+
+let test_draining_rejects_new_work () =
+  with_server @@ fun ~socket t ->
+  Server.drain t;
+  (* the accept loop notices within its 0.25 s poll; until the listener
+     closes, new route requests get the typed "draining" reject *)
+  match Client.request ~timeout_s:10.0 socket (route_request ()) with
+  | Protocol.Err { gsl; _ } ->
+      Alcotest.(check int) "overload gsl" 31 gsl
+  | Protocol.Pong | Protocol.Stats_reply _ | Protocol.Result _ ->
+      Alcotest.fail "draining daemon accepted new work"
+  | exception Error.Error (Error.Io _) ->
+      (* listener already closed: equally acceptable — no new work *)
+      ()
+
+let suites =
+  [
+    ( "serve.protocol",
+      [
+        Alcotest.test_case "codec round-trips" `Quick test_codec_roundtrip;
+        Alcotest.test_case "codec rejects garbage" `Quick test_codec_rejects;
+      ] );
+    ( "serve.daemon",
+      [
+        Alcotest.test_case "ping and stats" `Quick test_ping_stats;
+        Alcotest.test_case "drain unlinks socket" `Quick test_drain_unlinks_socket;
+        Alcotest.test_case "malformed frames isolated" `Quick test_malformed_frames;
+        Alcotest.test_case "oversized frame isolated" `Quick test_oversized_frame;
+        Alcotest.test_case "draining rejects new work" `Quick
+          test_draining_rejects_new_work;
+      ] );
+    ( "serve.requests",
+      [
+        Alcotest.test_case "concurrent identity" `Slow
+          test_route_identity_concurrent;
+        Alcotest.test_case "deadline degrades request" `Slow
+          test_request_deadline_degrades;
+        Alcotest.test_case "injected fault isolated" `Slow
+          test_injected_fault_isolated;
+        Alcotest.test_case "disconnect cancels request" `Slow
+          test_disconnect_cancels_request;
+        Alcotest.test_case "queue-full backpressure" `Slow
+          test_backpressure_queue_full;
+      ] );
+  ]
